@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Env Fptree List Printf Report Trees Workloads

@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Env List Random Report Trees Workloads

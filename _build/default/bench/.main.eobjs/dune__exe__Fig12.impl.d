@@ -1,0 +1,1 @@
+bench/fig12.ml: Dbproto Env List Printf Report Workloads

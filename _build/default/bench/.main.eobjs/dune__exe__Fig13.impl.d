@@ -1,0 +1,1 @@
+bench/fig13.ml: Baselines Env Fptree Kvstore List Printf Report String Trees Workloads

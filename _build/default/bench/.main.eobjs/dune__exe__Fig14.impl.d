@@ -1,0 +1,1 @@
+bench/fig14.ml: Array Env List Printf Random Report Trees Workloads

@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Baselines Env Fptree List Report Trees Workloads

@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Env Fun List Printf Report Scm Trees Workloads

@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Env Fun List Printf Report Trees Workloads

@@ -1,0 +1,1 @@
+bench/fig_conc.ml: Array Env List Printf Random Report Trees Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Env Extensions Fig12 Fig13 Fig14 Fig4 Fig7 Fig8 Fig_conc List Micro Printf Sys Table1 Unix Workloads

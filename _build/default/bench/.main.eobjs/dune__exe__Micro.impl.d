@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Env Hashtbl Instance List Measure Printf Random Report Scm Staged Test Time Toolkit Trees Workloads

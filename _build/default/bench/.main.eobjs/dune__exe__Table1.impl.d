@@ -1,0 +1,1 @@
+bench/table1.ml: Array Env List Report Trees Workloads

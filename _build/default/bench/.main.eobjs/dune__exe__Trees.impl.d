@@ -1,0 +1,1 @@
+bench/trees.ml: Baselines Fptree Pmem Unix

@@ -1,0 +1,71 @@
+(** Ablation: isolate the contribution of each FPTree design choice by
+    toggling one at a time on otherwise-identical trees —
+    fingerprinting (Section 4.2), amortized leaf-group allocation
+    (Section 4.3), and the PTree-style split key/value arrays.
+    Complements Figure 7 (which compares whole designs). *)
+
+let variants =
+  [
+    ("full FPTree", Fptree.Tree.fptree_config);
+    ( "- fingerprints",
+      { Fptree.Tree.fptree_config with Fptree.Tree.fingerprints = false } );
+    ( "- leaf groups",
+      { Fptree.Tree.fptree_config with Fptree.Tree.use_groups = false } );
+    ( "+ split arrays",
+      { Fptree.Tree.fptree_config with Fptree.Tree.split_arrays = true } );
+    ( "- both (PTree-ish)",
+      { Fptree.Tree.fptree_config with
+        Fptree.Tree.fingerprints = false;
+        Fptree.Tree.split_arrays = true;
+        Fptree.Tree.use_groups = false } );
+  ]
+
+let latencies = [ 90.; 650. ]
+
+let run () =
+  Report.heading "Ablation: FPTree design choices, one toggle at a time";
+  let warm = Env.scaled 100_000 in
+  let nops = Env.scaled 50_000 in
+  List.iter
+    (fun op ->
+      let results =
+        List.map
+          (fun (name, cfg) ->
+            Env.single ();
+            let a = Trees.arena () in
+            let t = Fptree.Fixed.create ~config:cfg a in
+            let perm = Workloads.Keygen.permutation ~seed:31 warm in
+            Array.iter (fun i -> ignore (Fptree.Fixed.insert t (i * 2) 1)) perm;
+            let run () =
+              for j = 0 to nops - 1 do
+                match op with
+                | "Find" -> ignore (Fptree.Fixed.find t (2 * (j mod warm)))
+                | "Insert" -> ignore (Fptree.Fixed.insert t ((2 * j) + 1) j)
+                | _ -> ignore (Fptree.Fixed.delete t (2 * j))
+              done
+            in
+            let modeled, _ =
+              Report.measure_modeled ~latencies_ns:latencies ~n:nops run
+            in
+            let probes =
+              float_of_int (Fptree.Fixed.stats t).Fptree.Tree.key_probes
+              /. float_of_int (max 1 (Fptree.Fixed.stats t).Fptree.Tree.finds)
+            in
+            (name, (modeled, probes)))
+          variants
+      in
+      Report.subheading (Printf.sprintf "%s: avg us/op (and key probes per find)" op);
+      Report.table
+        ~rows:(List.map fst variants)
+        ~headers:[ "90ns"; "650ns"; "probes" ]
+        ~cell:(fun name h ->
+          let modeled, probes = List.assoc name results in
+          match h with
+          | "90ns" -> Report.us (List.assoc 90. modeled)
+          | "650ns" -> Report.us (List.assoc 650. modeled)
+          | _ -> if op = "Find" then Report.f2 probes else "-"))
+    [ "Find"; "Insert"; "Delete" ];
+  Report.note
+    "fingerprints should cut Find probes to ~1 and flatten the latency curve; \
+     leaf groups should cut Insert cost (fewer allocator round-trips); split \
+     arrays trade locality of interleaved entries for denser key scans"

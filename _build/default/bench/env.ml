@@ -1,0 +1,36 @@
+(** Simulator-environment presets for the two measurement styles.
+
+    - [single]: single-threaded modeled-time experiments — SCM access
+      counting ON (to convert misses into modeled time at swept
+      latencies), crash tracking OFF (not needed, and it would distort
+      write costs), delay injection OFF.
+    - [parallel ~latency_ns]: multi-domain wall-clock experiments —
+      counting and tracking OFF (the counters are not synchronized),
+      calibrated busy-wait injection ON so the latency knob acts like
+      the paper's emulation platform. *)
+
+let single () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Stats.reset ();
+  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.current.Scm.Config.stats <- true;
+  Scm.Config.current.Scm.Config.delay_injection <- false
+
+let parallel ~latency_ns =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Stats.reset ();
+  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.current.Scm.Config.delay_injection <- latency_ns > 90.;
+  Scm.Config.set_latency ~read_ns:latency_ns ()
+
+(* scaled dataset sizes: --scale multiplies the defaults *)
+let scale = ref 1.0
+
+let scaled n = max 16 (int_of_float (float_of_int n *. !scale))
+
+let domains_sweep ~max_domains =
+  let rec go d acc = if d > max_domains then List.rev acc else go (d * 2) (d :: acc) in
+  go 1 []

@@ -1,0 +1,104 @@
+(** Figure 14 / Appendix A: impact of the payload (value) size on the
+    single-threaded trees at 360 ns (a–d) and on the concurrent trees
+    at full thread count (e–f).  Payloads are persisted inline with the
+    entries, so bigger payloads mean more SCM lines written (and, for
+    the NV-Tree's full-leaf scans, more lines read). *)
+
+let payloads = [ 8; 48; 112 ]
+let ops = [ "Find"; "Insert"; "Update"; "Delete" ]
+
+let run_single () =
+  Report.heading
+    "Figure 14a-d: payload-size impact, single-threaded, SCM latency 360 ns (var keys)";
+  let warm = Env.scaled 30_000 in
+  let nops = Env.scaled 15_000 in
+  let key i = Workloads.Keygen.string_key_16 i in
+  List.iter
+    (fun op ->
+      let results =
+        List.map
+          (fun name ->
+            ( name,
+              List.map
+                (fun pb ->
+                  Env.single ();
+                  let t = Trees.make_var ~value_bytes:pb name in
+                  let perm = Workloads.Keygen.permutation ~seed:4 warm in
+                  Array.iter (fun i -> ignore (t.Trees.insert (key (i * 2)) 1)) perm;
+                  let run () =
+                    for j = 0 to nops - 1 do
+                      match op with
+                      | "Find" -> ignore (t.Trees.find (key (2 * j)))
+                      | "Insert" -> ignore (t.Trees.insert (key ((2 * j) + 1)) j)
+                      | "Update" -> ignore (t.Trees.update (key (2 * j)) j)
+                      | _ -> ignore (t.Trees.delete (key (2 * j)))
+                    done
+                  in
+                  let modeled, _ =
+                    Report.measure_modeled ~latencies_ns:[ 360. ] ~n:nops run
+                  in
+                  (pb, List.assoc 360. modeled))
+                payloads ))
+          Trees.var_names
+      in
+      Report.subheading (Printf.sprintf "%s: avg us/op by payload bytes" op);
+      Report.table ~rows:Trees.var_names
+        ~headers:(List.map string_of_int payloads)
+        ~cell:(fun name h ->
+          Report.us (List.assoc (int_of_string h) (List.assoc name results))))
+    ops
+
+let run_concurrent () =
+  let domains = Workloads.Domain_pool.available_domains () in
+  Report.heading
+    (Printf.sprintf
+       "Figure 14e-f: payload-size impact, concurrent (%d threads, var keys)"
+       domains);
+  let warm = Env.scaled 50_000 in
+  let nops = Env.scaled 50_000 in
+  let key i = Workloads.Keygen.string_key_16 i in
+  List.iter
+    (fun (title, mk) ->
+      Report.subheading (title ^ ": throughput (Mops/s) by payload bytes");
+      let results =
+        List.map
+          (fun pb ->
+            ( pb,
+              List.map
+                (fun w ->
+                  Env.parallel ~latency_ns:90.;
+                  let t : string Trees.handle = mk pb in
+                  for i = 0 to warm - 1 do
+                    ignore (t.Trees.insert (key (i * 2)) 1)
+                  done;
+                  let body d =
+                    let lo, hi =
+                      Workloads.Domain_pool.slice ~domains ~total:nops d
+                    in
+                    let rng = Random.State.make [| 6; d |] in
+                    for j = lo to hi - 1 do
+                      let existing = key (2 * Random.State.int rng warm) in
+                      match w with
+                      | "Find" -> ignore (t.Trees.find existing)
+                      | "Insert" -> ignore (t.Trees.insert (key ((2 * j) + 1)) j)
+                      | "Update" -> ignore (t.Trees.update existing j)
+                      | "Delete" -> ignore (t.Trees.delete (key (2 * j)))
+                      | _ ->
+                        if j land 1 = 0 then ignore (t.Trees.find existing)
+                        else ignore (t.Trees.insert (key ((2 * j) + 1)) j)
+                    done
+                  in
+                  let secs = Workloads.Domain_pool.run ~domains body in
+                  (w, float_of_int nops /. secs))
+                (ops @ [ "Mixed" ]) ))
+          payloads
+      in
+      Report.table
+        ~rows:(ops @ [ "Mixed" ])
+        ~headers:(List.map string_of_int payloads)
+        ~cell:(fun w h ->
+          Report.mops (List.assoc w (List.assoc (int_of_string h) results))))
+    [
+      ("FPTreeCVar", fun pb -> Trees.make_var ~value_bytes:pb "FPTreeCVar");
+      ("NV-TreeVar", fun pb -> Trees.make_var ~value_bytes:pb "NV-TreeVar");
+    ]

@@ -1,0 +1,144 @@
+(** Figures 9–11: concurrent throughput and speedup of FPTreeC vs
+    NV-TreeC, fixed- and variable-size keys.
+
+    - Figure 9: one socket (threads up to the machine's core count);
+    - Figure 10: two sockets (threads up to 2x — oversubscription on
+      this machine, as HyperThreading/OS rows are in the paper);
+    - Figure 11: one socket with a higher SCM latency (145 ns injected
+      busy-wait vs the 85 ns baseline).
+
+    Workloads: warm-up, then Find / Insert / Update / Delete / Mixed
+    (50% Find + 50% Insert), uniformly distributed keys partitioned
+    across workers. *)
+
+type ops = { kind : string }
+
+let workloads = [ "Find"; "Insert"; "Update"; "Delete"; "Mixed" ]
+
+(* Build a fresh concurrent tree and run one workload at [domains];
+   returns ops/second. *)
+let run_one ~latency_ns ~var ~tree ~workload ~domains ~warm ~nops =
+  Env.parallel ~latency_ns;
+  let mk_fixed name = Trees.make_fixed name in
+  let mk_var name = Trees.make_var name in
+  (* uniformly distributed key streams, as in the paper: shuffled
+     permutations so neither inserts nor deletes are sequential *)
+  let ins_perm = Workloads.Keygen.permutation ~seed:51 nops in
+  let del_perm = Workloads.Keygen.permutation ~seed:52 nops in
+  if var then begin
+    let t : string Trees.handle =
+      match tree with
+      | "FPTreeC" -> mk_var "FPTreeCVar"
+      | _ -> mk_var "NV-TreeVar"
+    in
+    let key i = Workloads.Keygen.string_key_16 i in
+    for i = 0 to warm - 1 do
+      ignore (t.Trees.insert (key (i * 2)) 1)
+    done;
+    let body d =
+      let lo, hi = Workloads.Domain_pool.slice ~domains ~total:nops d in
+      let rng = Random.State.make [| 5; d |] in
+      for j = lo to hi - 1 do
+        let existing = key (2 * Random.State.int rng warm) in
+        match workload with
+        | "Find" -> ignore (t.Trees.find existing)
+        | "Insert" -> ignore (t.Trees.insert (key ((ins_perm.(j) * 2) + 1)) j)
+        | "Update" -> ignore (t.Trees.update existing j)
+        | "Delete" -> ignore (t.Trees.delete (key (2 * (del_perm.(j) mod warm))))
+        | _ ->
+          if j land 1 = 0 then ignore (t.Trees.find existing)
+          else ignore (t.Trees.insert (key ((ins_perm.(j) * 2) + 1)) j)
+      done
+    in
+    let secs = Workloads.Domain_pool.run ~domains body in
+    float_of_int nops /. secs
+  end
+  else begin
+    let t : int Trees.handle =
+      match tree with
+      | "FPTreeC" -> mk_fixed "FPTreeC"
+      | _ -> mk_fixed "NV-Tree"
+    in
+    for i = 0 to warm - 1 do
+      ignore (t.Trees.insert (i * 2) 1)
+    done;
+    let body d =
+      let lo, hi = Workloads.Domain_pool.slice ~domains ~total:nops d in
+      let rng = Random.State.make [| 5; d |] in
+      for j = lo to hi - 1 do
+        let existing = 2 * Random.State.int rng warm in
+        match workload with
+        | "Find" -> ignore (t.Trees.find existing)
+        | "Insert" -> ignore (t.Trees.insert ((ins_perm.(j) * 2) + 1) j)
+        | "Update" -> ignore (t.Trees.update existing j)
+        | "Delete" -> ignore (t.Trees.delete (2 * (del_perm.(j) mod warm)))
+        | _ ->
+          if j land 1 = 0 then ignore (t.Trees.find existing)
+          else ignore (t.Trees.insert ((ins_perm.(j) * 2) + 1) j)
+      done
+    in
+    let secs = Workloads.Domain_pool.run ~domains body in
+    float_of_int nops /. secs
+  end
+
+let run_figure ~title ~latency_ns ~max_domains ~var () =
+  Report.heading title;
+  let warm = Env.scaled 100_000 in
+  let nops = Env.scaled 100_000 in
+  let sweep = Env.domains_sweep ~max_domains in
+  List.iter
+    (fun tree ->
+      Report.subheading
+        (Printf.sprintf "%s%s: throughput (Mops/s) by thread count" tree
+           (if var then " (var keys)" else ""));
+      (* measure all (workload, domains) cells *)
+      let results =
+        List.map
+          (fun w ->
+            ( w,
+              List.map
+                (fun d ->
+                  (d, run_one ~latency_ns ~var ~tree ~workload:w ~domains:d ~warm ~nops))
+                sweep ))
+          workloads
+      in
+      Report.table ~rows:workloads
+        ~headers:(List.map string_of_int sweep)
+        ~cell:(fun w h ->
+          let d = int_of_string h in
+          Report.mops (List.assoc d (List.assoc w results)));
+      Report.subheading (Printf.sprintf "%s: speedup over 1 thread" tree);
+      Report.table ~rows:workloads
+        ~headers:(List.map string_of_int sweep)
+        ~cell:(fun w h ->
+          let d = int_of_string h in
+          let series = List.assoc w results in
+          Report.f2 (List.assoc d series /. List.assoc 1 series)))
+    [ "FPTreeC"; "NV-TreeC" ]
+
+let fig9 () =
+  let cores = Workloads.Domain_pool.available_domains () in
+  run_figure
+    ~title:(Printf.sprintf "Figure 9: concurrency, one socket (%d cores)" cores)
+    ~latency_ns:90. ~max_domains:cores ~var:false ();
+  run_figure ~title:"Figure 9e-h: concurrency, one socket, variable-size keys"
+    ~latency_ns:90. ~max_domains:cores ~var:true ()
+
+let fig10 () =
+  let cores = Workloads.Domain_pool.available_domains () in
+  run_figure
+    ~title:
+      (Printf.sprintf
+         "Figure 10: concurrency, two sockets (up to %d threads, oversubscribed)"
+         (2 * cores))
+    ~latency_ns:90. ~max_domains:(2 * cores) ~var:false ();
+  run_figure ~title:"Figure 10e-h: two sockets, variable-size keys"
+    ~latency_ns:90. ~max_domains:(2 * cores) ~var:true ()
+
+let fig11 () =
+  let cores = Workloads.Domain_pool.available_domains () in
+  run_figure
+    ~title:"Figure 11: concurrency, one socket, SCM latency 145 ns"
+    ~latency_ns:145. ~max_domains:cores ~var:false ();
+  run_figure ~title:"Figure 11e-h: 145 ns, variable-size keys" ~latency_ns:145.
+    ~max_domains:cores ~var:true ()

@@ -1,0 +1,54 @@
+(** Bechamel-driven raw micro-benchmarks: per-operation wall latency of
+    each tree (no latency modeling — the OLS estimate of one op on the
+    simulator substrate).  One [Test.make] per tree and operation. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  Env.single ();
+  Scm.Config.current.Scm.Config.stats <- false;
+  let n = Env.scaled 50_000 in
+  let tests =
+    List.concat_map
+      (fun name ->
+        let t : int Trees.handle = Trees.make_fixed name in
+        let perm = Workloads.Keygen.permutation ~seed:10 n in
+        Array.iter (fun i -> ignore (t.Trees.insert (i * 2) 1)) perm;
+        let rng = Random.State.make [| 21 |] in
+        let next_ins = ref 1 in
+        [
+          Test.make
+            ~name:(name ^ "/find")
+            (Staged.stage (fun () ->
+                 ignore (t.Trees.find (2 * Random.State.int rng n))));
+          Test.make
+            ~name:(name ^ "/insert")
+            (Staged.stage (fun () ->
+                 ignore (t.Trees.insert !next_ins 0);
+                 next_ins := !next_ins + 2));
+          Test.make
+            ~name:(name ^ "/update")
+            (Staged.stage (fun () ->
+                 ignore (t.Trees.update (2 * Random.State.int rng n) 9)));
+        ])
+      Trees.fixed_names
+  in
+  Test.make_grouped ~name:"ops" ~fmt:"%s %s" tests
+
+let run () =
+  Report.heading "Bechamel micro-benchmark: raw ns/op on the simulator (90 ns)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (make_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k _ acc -> k :: acc) results [] |> List.sort compare in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some [ est ] -> Printf.printf "%-28s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "%-28s %10s\n" name "n/a")
+    rows;
+  flush stdout

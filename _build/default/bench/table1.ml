@@ -1,0 +1,54 @@
+(** Table 1: node-size tuning.  The paper selects the best node sizes
+    per tree with a preliminary experiment; this sweep reproduces that
+    choice for the FPTree family — avg modeled us/op of a 50/50
+    Find/Insert mix at 250 ns for a range of leaf sizes. *)
+
+let run () =
+  Report.heading "Table 1 (tuning): leaf-size sweep, 50/50 find/insert mix @250ns";
+  let warm = Env.scaled 50_000 in
+  let nops = Env.scaled 25_000 in
+  let leaf_sizes = [ 8; 16; 32; 56; 64 ] in
+  let trees =
+    [
+      ("FPTree", fun m -> Trees.fptree_fixed ~m ());
+      ("PTree", fun m -> Trees.ptree_fixed ~m ());
+      ("wBTree", fun m -> Trees.wbtree_fixed ~leaf_m:m ());
+      ("NV-Tree", fun m -> Trees.nvtree_fixed ~cap:m ());
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, mk) ->
+        ( name,
+          List.map
+            (fun m ->
+              Env.single ();
+              let t = mk m in
+              let perm = Workloads.Keygen.permutation ~seed:9 warm in
+              Array.iter (fun i -> ignore (t.Trees.insert (i * 2) 1)) perm;
+              let run () =
+                for j = 0 to nops - 1 do
+                  if j land 1 = 0 then ignore (t.Trees.find (2 * (j mod warm)))
+                  else ignore (t.Trees.insert ((2 * j) + 1) j)
+                done
+              in
+              let modeled, _ = Report.measure_modeled ~latencies_ns:[ 250. ] ~n:nops run in
+              (m, List.assoc 250. modeled))
+            leaf_sizes ))
+      trees
+  in
+  Report.table
+    ~rows:(List.map fst trees)
+    ~headers:(List.map string_of_int leaf_sizes)
+    ~cell:(fun name h ->
+      Report.us (List.assoc (int_of_string h) (List.assoc name results)));
+  (* report the argmin per tree, mirroring the paper's chosen sizes *)
+  List.iter
+    (fun (name, series) ->
+      let best, t =
+        List.fold_left
+          (fun (bm, bt) (m, t) -> if t < bt then (m, t) else (bm, bt))
+          (0, infinity) series
+      in
+      Report.note "%s: best leaf size %d (%.2f us/op)" name best t)
+    results

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Array Fptree Hashtbl List Pmem Printf Random Scm Sys

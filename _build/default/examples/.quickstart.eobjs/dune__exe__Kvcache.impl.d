@@ -1,0 +1,1 @@
+examples/kvcache.ml: Baselines Fptree Kvstore List Pmem Printf Scm Workloads

@@ -1,0 +1,1 @@
+examples/latency_explorer.ml: Array Fptree List Pmem Printf Scm Unix Workloads

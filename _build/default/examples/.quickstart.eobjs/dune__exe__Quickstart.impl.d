@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Fptree List Pmem Printf Scm String Sys

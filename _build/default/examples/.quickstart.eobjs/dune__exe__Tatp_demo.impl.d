@@ -1,0 +1,1 @@
+examples/tatp_demo.ml: Dbproto List Printf Scm Workloads

@@ -1,0 +1,23 @@
+(* TATP prototype-database demo: populate, run the read-only mix,
+   crash-restart, and compare the restart cost against the transient
+   baseline's full rebuild.
+
+   Run with:  dune exec examples/tatp_demo.exe *)
+
+let () =
+  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.current.Scm.Config.stats <- false;
+  let subscribers = 10_000 in
+  let clients = Workloads.Domain_pool.available_domains () in
+  Printf.printf "TATP prototype DB: %d subscribers, %d clients\n%!" subscribers
+    clients;
+  List.iter
+    (fun kind ->
+      Scm.Registry.clear ();
+      let db = Dbproto.Tatp.populate ~subscribers kind in
+      let tps = Dbproto.Tatp.run_benchmark ~clients ~n_tx:50_000 db in
+      let _, restart = Dbproto.Tatp.restart ~workers:clients db in
+      Printf.printf "  %-8s  %8.0f tx/s   restart %6.1f ms\n%!"
+        (Dbproto.Index.kind_name kind)
+        tps (restart *. 1000.))
+    Dbproto.Index.all_kinds

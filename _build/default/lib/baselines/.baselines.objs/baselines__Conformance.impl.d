@@ -1,0 +1,1 @@
+lib/baselines/conformance.ml: Fptree Nvtree Stxtree Wbtree

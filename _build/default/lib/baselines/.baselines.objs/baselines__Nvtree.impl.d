@@ -1,0 +1,1 @@
+lib/baselines/nvtree.ml: Array Atomic Fptree Hashtbl Htm Int64 List Pmem Scm

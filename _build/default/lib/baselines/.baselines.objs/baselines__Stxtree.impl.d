@@ -1,0 +1,1 @@
+lib/baselines/stxtree.ml: Array Int List String

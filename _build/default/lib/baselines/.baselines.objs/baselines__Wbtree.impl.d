@@ -1,0 +1,1 @@
+lib/baselines/wbtree.ml: Array Fptree Int64 List Pmem Scm

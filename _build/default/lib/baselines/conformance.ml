@@ -1,0 +1,15 @@
+(** Compile-time proof that every tree in the repository satisfies the
+    uniform ordered-map interface ({!Fptree.Tree_intf}): benchmarks and
+    integrations can treat them interchangeably. *)
+
+module _ : Fptree.Tree_intf.FIXED = Fptree.Fixed
+module _ : Fptree.Tree_intf.FIXED = Fptree.Ptree.Fixed
+module _ : Fptree.Tree_intf.FIXED = Stxtree.Fixed
+module _ : Fptree.Tree_intf.FIXED = Nvtree.Fixed
+module _ : Fptree.Tree_intf.FIXED = Wbtree.Fixed
+
+module _ : Fptree.Tree_intf.VAR = Fptree.Var
+module _ : Fptree.Tree_intf.VAR = Fptree.Ptree.Var
+module _ : Fptree.Tree_intf.VAR = Stxtree.Var
+module _ : Fptree.Tree_intf.VAR = Nvtree.Var
+module _ : Fptree.Tree_intf.VAR = Wbtree.Var

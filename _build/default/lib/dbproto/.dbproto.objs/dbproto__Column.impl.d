@@ -1,0 +1,1 @@
+lib/dbproto/column.ml: Int64 Scm

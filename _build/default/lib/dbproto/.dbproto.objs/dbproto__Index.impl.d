@@ -1,0 +1,1 @@
+lib/dbproto/index.ml: Baselines Fptree Pmem

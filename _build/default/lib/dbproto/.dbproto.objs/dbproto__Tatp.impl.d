@@ -1,0 +1,1 @@
+lib/dbproto/tatp.ml: Array Column Index Option Random Scm Sys Unix Workloads

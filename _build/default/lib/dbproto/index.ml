@@ -1,0 +1,98 @@
+(** First-class fixed-key index handles for the prototype database:
+    the dictionary index of the columnar engine is "the tree under
+    test" (Section 6.4).  Each handle knows how to recover itself from
+    its SCM arena after a restart. *)
+
+type kind = FPTree | PTree | NVTree | WBTree | STXTree
+
+let kind_name = function
+  | FPTree -> "FPTree"
+  | PTree -> "PTree"
+  | NVTree -> "NV-Tree"
+  | WBTree -> "wBTree"
+  | STXTree -> "STXTree"
+
+let all_kinds = [ FPTree; PTree; NVTree; WBTree; STXTree ]
+
+type t = {
+  kind : kind;
+  alloc : Pmem.Palloc.t option; (* None for the transient STXTree *)
+  insert : int -> int -> bool;
+  find : int -> int option;
+  update : int -> int -> bool;
+  delete : int -> bool;
+  count : unit -> int;
+}
+
+(* The DB experiment's NV-Tree configuration (Section 6.4): leaf 1024 /
+   inner 8 to survive the sorted (sequential s_id) population. *)
+let nvtree_db_cap = 1024
+let nvtree_db_pln = 8
+
+let wrap_fptree tr =
+  { kind = FPTree; alloc = None;
+    insert = Fptree.Fixed.insert tr; find = Fptree.Fixed.find tr;
+    update = Fptree.Fixed.update tr; delete = Fptree.Fixed.delete tr;
+    count = (fun () -> Fptree.Fixed.count tr) }
+
+let wrap_ptree tr =
+  { kind = PTree; alloc = None;
+    insert = Fptree.Ptree.Fixed.insert tr; find = Fptree.Ptree.Fixed.find tr;
+    update = Fptree.Ptree.Fixed.update tr; delete = Fptree.Ptree.Fixed.delete tr;
+    count = (fun () -> Fptree.Ptree.Fixed.count tr) }
+
+let wrap_nvtree tr =
+  { kind = NVTree; alloc = None;
+    insert = Baselines.Nvtree.Fixed.insert tr; find = Baselines.Nvtree.Fixed.find tr;
+    update = Baselines.Nvtree.Fixed.update tr; delete = Baselines.Nvtree.Fixed.delete tr;
+    count = (fun () -> Baselines.Nvtree.Fixed.count tr) }
+
+let wrap_wbtree tr =
+  { kind = WBTree; alloc = None;
+    insert = Baselines.Wbtree.Fixed.insert tr; find = Baselines.Wbtree.Fixed.find tr;
+    update = Baselines.Wbtree.Fixed.update tr; delete = Baselines.Wbtree.Fixed.delete tr;
+    count = (fun () -> Baselines.Wbtree.Fixed.count tr) }
+
+let wrap_stxtree tr =
+  { kind = STXTree; alloc = None;
+    insert = Baselines.Stxtree.Fixed.insert tr; find = Baselines.Stxtree.Fixed.find tr;
+    update = Baselines.Stxtree.Fixed.update tr; delete = Baselines.Stxtree.Fixed.delete tr;
+    count = (fun () -> Baselines.Stxtree.Fixed.count tr) }
+
+(** Create a fresh index of [kind] in its own SCM arena. *)
+let create ?(arena_bytes = 64 * 1024 * 1024) kind =
+  match kind with
+  | STXTree -> { (wrap_stxtree (Baselines.Stxtree.Fixed.create ())) with alloc = None }
+  | _ ->
+    let a = Pmem.Palloc.create ~size:arena_bytes () in
+    let t =
+      match kind with
+      | FPTree -> wrap_fptree (Fptree.Fixed.create_single a)
+      | PTree -> wrap_ptree (Fptree.Ptree.Fixed.create a)
+      | NVTree ->
+        wrap_nvtree
+          (Baselines.Nvtree.Fixed.create ~cap:nvtree_db_cap ~pln_cap:nvtree_db_pln a)
+      | WBTree -> wrap_wbtree (Baselines.Wbtree.Fixed.create a)
+      | STXTree -> assert false
+    in
+    { t with alloc = Some a }
+
+(** Re-open an index after a (simulated) restart.  The STXTree is
+    transient: the caller must rebuild it from base data. *)
+let recover t =
+  match (t.kind, t.alloc) with
+  | STXTree, _ | _, None -> invalid_arg "Index.recover: transient index"
+  | kind, Some a ->
+    let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+    let t' =
+      match kind with
+      | FPTree -> wrap_fptree (Fptree.Fixed.recover a')
+      | PTree ->
+        wrap_ptree (Fptree.Ptree.Fixed.recover ~config:Fptree.Tree.ptree_config a')
+      | NVTree ->
+        wrap_nvtree
+          (Baselines.Nvtree.Fixed.recover ~cap:nvtree_db_cap ~pln_cap:nvtree_db_pln a')
+      | WBTree -> wrap_wbtree (Baselines.Wbtree.Fixed.recover a')
+      | STXTree -> assert false
+    in
+    { t' with alloc = Some a' }

@@ -1,0 +1,1 @@
+lib/fptree/fingerprint.ml: Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/fptree/fingerprint.mli:

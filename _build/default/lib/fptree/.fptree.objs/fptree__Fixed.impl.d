@@ -1,0 +1,1 @@
+lib/fptree/fixed.ml: Keys Tree

@@ -1,0 +1,1 @@
+lib/fptree/inner.ml: Array Atomic Option

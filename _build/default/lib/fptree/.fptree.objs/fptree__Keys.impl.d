@@ -1,0 +1,1 @@
+lib/fptree/keys.ml: Fingerprint Int Int64 Pmem Scm String

@@ -1,0 +1,1 @@
+lib/fptree/keys.mli: Pmem Scm

@@ -1,0 +1,1 @@
+lib/fptree/layout.ml: Int64 Pmem Scm

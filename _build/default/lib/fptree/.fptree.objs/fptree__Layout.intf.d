@@ -1,0 +1,1 @@
+lib/fptree/layout.mli: Pmem Scm

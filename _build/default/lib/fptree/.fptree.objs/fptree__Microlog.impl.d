@@ -1,0 +1,1 @@
+lib/fptree/microlog.ml: Array Atomic Domain Pmem Scm

@@ -1,0 +1,1 @@
+lib/fptree/microlog.mli: Pmem Scm

@@ -1,0 +1,1 @@
+lib/fptree/ptree.ml: Keys Tree

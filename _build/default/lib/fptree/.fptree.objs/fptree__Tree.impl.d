@@ -1,0 +1,1 @@
+lib/fptree/tree.ml: Array Atomic Hashtbl Htm Inner Int64 Keys Layout List Microlog Option Pmem Scm

@@ -1,0 +1,1 @@
+lib/fptree/tree_intf.ml:

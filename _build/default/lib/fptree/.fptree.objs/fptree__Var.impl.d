@@ -1,0 +1,1 @@
+lib/fptree/var.ml: Keys Tree

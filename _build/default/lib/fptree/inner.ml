@@ -1,0 +1,280 @@
+(** Transient inner nodes (Selective Persistence, Section 4.1).
+
+    Inner nodes live in DRAM as classical sorted main-memory B+-Tree
+    nodes and are rebuilt from the leaf linked list on recovery.  A key
+    [keys.(i)] is the greatest key reachable through [children.(i)]
+    (the discriminator recovery extracts from each leaf), so search
+    descends into the first child whose key is >= the probe.
+
+    The structure is parametric in the key type; all functions take the
+    comparison explicitly. *)
+
+type leaf_ref = {
+  off : int;                 (** leaf payload offset inside the tree's region *)
+  lock : bool Atomic.t;      (** volatile leaf lock (never persisted) *)
+}
+
+let leaf_ref off = { off; lock = Atomic.make false }
+
+type 'k node = Inner of 'k inner | Leaf of leaf_ref
+
+and 'k inner = {
+  mutable nkeys : int;
+  keys : 'k array;           (* capacity fanout - 1; slots >= nkeys are junk *)
+  children : 'k node array;  (* capacity fanout; nkeys + 1 children in use *)
+}
+
+type 'k t = {
+  fanout : int;
+  dummy_key : 'k;
+  mutable root : 'k node;
+}
+
+let make_inner t =
+  {
+    nkeys = 0;
+    keys = Array.make (t.fanout - 1) t.dummy_key;
+    children = Array.make t.fanout (Leaf (leaf_ref (-1)));
+  }
+
+let create ~fanout ~dummy_key first_leaf =
+  if fanout < 2 then invalid_arg "Inner.create: fanout must be >= 2";
+  let t = { fanout; dummy_key; root = Leaf first_leaf } in
+  let root = make_inner t in
+  root.children.(0) <- Leaf first_leaf;
+  t.root <- Inner root;
+  t
+
+(** First index i in [0, nkeys) with key <= keys.(i); nkeys if none:
+    the child to descend into. *)
+let child_index cmp (n : 'k inner) key =
+  let lo = ref 0 and hi = ref n.nkeys in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp key n.keys.(mid) <= 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(** Descend to the leaf responsible for [key]. *)
+let rec find_leaf cmp node key =
+  match node with
+  | Leaf l -> l
+  | Inner n -> find_leaf cmp n.children.(child_index cmp n key) key
+
+let rec rightmost_leaf = function
+  | Leaf l -> l
+  | Inner n -> rightmost_leaf n.children.(n.nkeys)
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Inner n -> leftmost_leaf n.children.(0)
+
+(** Descend to the leaf for [key] and also return the leaf immediately
+    to its left in key order, if any (FindLeafAndPrevLeaf). *)
+let find_leaf_and_prev cmp root key =
+  let rec go node left =
+    match node with
+    | Leaf l -> (l, Option.map rightmost_leaf left)
+    | Inner n ->
+      let i = child_index cmp n key in
+      let left = if i > 0 then Some n.children.(i - 1) else left in
+      go n.children.(i) left
+  in
+  go root None
+
+(* ---- structural updates (run under the writer lock) ---- *)
+
+(* Insert (key, right) just after [pos] in [n]; caller guarantees room. *)
+let insert_at n pos key right =
+  for i = n.nkeys downto pos + 1 do
+    n.keys.(i) <- n.keys.(i - 1)
+  done;
+  for i = n.nkeys + 1 downto pos + 2 do
+    n.children.(i) <- n.children.(i - 1)
+  done;
+  n.keys.(pos) <- key;
+  n.children.(pos + 1) <- right;
+  n.nkeys <- n.nkeys + 1
+
+(* Split a full inner node into (left = n, sep, right). *)
+let split_inner t n =
+  let mid = n.nkeys / 2 in
+  let sep = n.keys.(mid) in
+  let right = make_inner t in
+  let moved = n.nkeys - mid - 1 in
+  Array.blit n.keys (mid + 1) right.keys 0 moved;
+  Array.blit n.children (mid + 1) right.children 0 (moved + 1);
+  right.nkeys <- moved;
+  (* Drop stale references so DRAM is not retained by junk slots. *)
+  for i = mid to n.nkeys - 1 do
+    n.keys.(i) <- t.dummy_key
+  done;
+  for i = mid + 1 to n.nkeys do
+    n.children.(i) <- Leaf (leaf_ref (-1))
+  done;
+  n.nkeys <- mid;
+  (sep, right)
+
+(** After a leaf split: register [right] (greatest-key discriminator
+    [sep]) next to the leaf currently responsible for [sep]
+    (UpdateParents).  Splits inner nodes on the way up as needed. *)
+let update_parents t cmp ~sep ~right =
+  let right_node = Leaf right in
+  let rec go node =
+    (* Returns Some (sep', right') if [node] split. *)
+    match node with
+    | Leaf _ -> assert false
+    | Inner n -> (
+      let i = child_index cmp n sep in
+      match n.children.(i) with
+      | Leaf _ ->
+        insert_at n i sep right_node;
+        if n.nkeys = t.fanout - 1 then Some (split_inner t n) else None
+      | Inner _ as child -> (
+        match go child with
+        | None -> None
+        | Some (sep', right') ->
+          insert_at n i sep' (Inner right');
+          if n.nkeys = t.fanout - 1 then Some (split_inner t n) else None))
+  in
+  match go t.root with
+  | None -> ()
+  | Some (sep', right') ->
+    let old_root = t.root in
+    let root = make_inner t in
+    root.nkeys <- 1;
+    root.keys.(0) <- sep';
+    root.children.(0) <- old_root;
+    root.children.(1) <- Inner right';
+    t.root <- Inner root
+
+let remove_at n pos =
+  (* Remove children.(pos) and the separator adjacent to it. *)
+  let kpos = if pos = 0 then 0 else pos - 1 in
+  for i = kpos to n.nkeys - 2 do
+    n.keys.(i) <- n.keys.(i + 1)
+  done;
+  for i = pos to n.nkeys - 1 do
+    n.children.(i) <- n.children.(i + 1)
+  done;
+  n.nkeys <- n.nkeys - 1;
+  (* Drop the stale trailing reference so DRAM is not retained. *)
+  n.children.(n.nkeys + 1) <- Leaf (leaf_ref (-1))
+
+(** Unlink the leaf responsible for [key] from the inner structure
+    (the leaf became empty and is being deleted).  Empty inner nodes
+    are removed on the way up; no underflow rebalancing is attempted,
+    matching the paper's physical-operation granularity. *)
+let remove_leaf t cmp key =
+  let rec go node =
+    (* Returns true if [node] ended up with zero children. *)
+    match node with
+    | Leaf _ -> assert false
+    | Inner n -> (
+      let i = child_index cmp n key in
+      match n.children.(i) with
+      | Leaf _ ->
+        if n.nkeys = 0 then (* single-child node: removing empties it *)
+          true
+        else begin
+          remove_at n i;
+          false
+        end
+      | Inner _ as child ->
+        if go child then
+          if n.nkeys = 0 then true
+          else begin
+            remove_at n i;
+            false
+          end
+        else false)
+  in
+  if go t.root then begin
+    (* The whole tree emptied; keep an empty root. *)
+    match t.root with
+    | Inner n -> n.nkeys <- 0
+    | Leaf _ -> assert false
+  end;
+  (* Collapse a root holding a single inner child. *)
+  match t.root with
+  | Inner n when n.nkeys = 0 -> (
+    match n.children.(0) with Inner _ as c -> t.root <- c | Leaf _ -> ())
+  | _ -> ()
+
+(* ---- bulk rebuild (recovery, Algorithm 9 / RebuildInnerNodes) ---- *)
+
+(** Rebuild the inner structure from the leaves in key order, given
+    each leaf's greatest key.  Nodes are packed to ~[fill] of fanout. *)
+let rebuild ~fanout ~dummy_key ?(fill = 0.85) (leaves : ('k * leaf_ref) array) =
+  let t = { fanout; dummy_key; root = Leaf (leaf_ref (-1)) } in
+  let n_leaves = Array.length leaves in
+  if n_leaves = 0 then invalid_arg "Inner.rebuild: no leaves";
+  let per_node = max 2 (min fanout (int_of_float (float_of_int fanout *. fill))) in
+  (* level: array of (max key, node) *)
+  let level =
+    Array.map (fun (k, l) -> (k, Leaf l)) leaves
+  in
+  let rec build level =
+    if Array.length level = 1 then snd level.(0)
+    else begin
+      let n = Array.length level in
+      let groups = (n + per_node - 1) / per_node in
+      let next =
+        Array.init groups (fun g ->
+            let base = g * per_node in
+            let cnt = min per_node (n - base) in
+            let node = make_inner t in
+            node.nkeys <- cnt - 1;
+            for i = 0 to cnt - 1 do
+              node.children.(i) <- snd level.(base + i);
+              if i < cnt - 1 then node.keys.(i) <- fst level.(base + i)
+            done;
+            (fst level.(base + cnt - 1), Inner node))
+      in
+      build next
+    end
+  in
+  let root =
+    match build level with
+    | Inner _ as r -> r
+    | Leaf _ as l ->
+      (* Single leaf: wrap in a root so the shape invariant holds. *)
+      let node = make_inner t in
+      node.children.(0) <- l;
+      Inner node
+  in
+  t.root <- root;
+  t
+
+(* ---- introspection ---- *)
+
+let rec node_count = function
+  | Leaf _ -> 0
+  | Inner n ->
+    let c = ref 1 in
+    for i = 0 to n.nkeys do
+      c := !c + node_count n.children.(i)
+    done;
+    !c
+
+let inner_node_count t = node_count t.root
+
+let rec height = function
+  | Leaf _ -> 0
+  | Inner n -> 1 + height n.children.(0)
+
+(** Approximate DRAM footprint in bytes; [key_bytes] sizes one key. *)
+let dram_bytes t ~key_bytes =
+  let per_node = ((t.fanout - 1) * key_bytes) + (t.fanout * 8) + 24 in
+  inner_node_count t * per_node
+
+(** All leaves in key order, via the inner structure. *)
+let iter_leaves t f =
+  let rec go = function
+    | Leaf l -> f l
+    | Inner n ->
+      for i = 0 to n.nkeys do
+        go n.children.(i)
+      done
+  in
+  go t.root

@@ -1,0 +1,66 @@
+(** Transient inner nodes (Selective Persistence, Section 4.1):
+    classical sorted main-memory B+-Tree nodes living in DRAM, rebuilt
+    from the persistent leaf linked list on recovery.  [keys.(i)] is
+    the greatest key reachable through [children.(i)].  Parametric in
+    the key type; comparisons are passed explicitly. *)
+
+type leaf_ref = {
+  off : int;             (** leaf payload offset inside the tree's region *)
+  lock : bool Atomic.t;  (** volatile leaf lock (never persisted) *)
+}
+
+val leaf_ref : int -> leaf_ref
+
+type 'k node = Inner of 'k inner | Leaf of leaf_ref
+
+and 'k inner = {
+  mutable nkeys : int;
+  keys : 'k array;
+  children : 'k node array;
+}
+
+type 'k t = {
+  fanout : int;
+  dummy_key : 'k;
+  mutable root : 'k node;
+}
+
+(** A tree over a single leaf: root is an inner node with one child.
+    @raise Invalid_argument if [fanout < 2]. *)
+val create : fanout:int -> dummy_key:'k -> leaf_ref -> 'k t
+
+(** First child index whose subtree may hold [key]. *)
+val child_index : ('k -> 'k -> int) -> 'k inner -> 'k -> int
+
+(** Descend to the leaf responsible for [key]. *)
+val find_leaf : ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref
+
+val rightmost_leaf : 'k node -> leaf_ref
+val leftmost_leaf : 'k node -> leaf_ref
+
+(** The leaf for [key] plus the leaf immediately to its left in key
+    order, if any (FindLeafAndPrevLeaf). *)
+val find_leaf_and_prev :
+  ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref * leaf_ref option
+
+(** Register the new right half of a leaf split next to the leaf
+    currently responsible for [sep] (UpdateParents); splits inner
+    nodes and grows the root as needed.  Run under the writer lock. *)
+val update_parents : 'k t -> ('k -> 'k -> int) -> sep:'k -> right:leaf_ref -> unit
+
+(** Unlink the (emptied) leaf responsible for [key]; empty inner nodes
+    are removed on the way up, a single-inner-child root collapses. *)
+val remove_leaf : 'k t -> ('k -> 'k -> int) -> 'k -> unit
+
+(** Bulk rebuild from the leaves in key order (recovery, Algorithm 9),
+    packed to ~[fill] of [fanout].
+    @raise Invalid_argument on an empty leaf array. *)
+val rebuild :
+  fanout:int -> dummy_key:'k -> ?fill:float -> ('k * leaf_ref) array -> 'k t
+
+(** {1 Introspection} *)
+
+val inner_node_count : 'k t -> int
+val height : 'k node -> int
+val dram_bytes : 'k t -> key_bytes:int -> int
+val iter_leaves : 'k t -> (leaf_ref -> unit) -> unit

@@ -1,0 +1,144 @@
+(** Key representations.
+
+    The tree functor is parametric over how a key lives in a leaf cell:
+
+    - {!Fixed}: 63-bit integer keys stored inline in an 8-byte cell
+      (the paper's fixed-size 8-byte keys);
+    - {!Var}: string keys stored out of line — the cell is a persistent
+      pointer to a separately allocated key block, as in Appendix C.
+
+    A var-key block is [length:8][bytes][padding]; deallocating and
+    resetting cells follows the leak-detection discipline of
+    Algorithm 17. *)
+
+type ctx = {
+  region : Scm.Region.t;
+  alloc : Pmem.Palloc.t;
+}
+
+let max_var_key_len = 4096
+
+module type KEY = sig
+  type t
+
+  val kind : int
+  (** persisted tag: 0 = fixed, 1 = var *)
+
+  val cell_bytes : int
+  val inline : bool
+  (** [true] when the key bytes live in the cell itself; the tree then
+      persists the cell range together with the value. *)
+
+  val dummy : t
+  val compare : t -> t -> int
+  val fingerprint : t -> int
+  val dram_bytes : t -> int
+
+  val read : ctx -> off:int -> t
+  (** Read the key at cell [off] (valid slot, or best-effort for a
+      concurrent dirty read — must not raise on garbage). *)
+
+  val write : ctx -> off:int -> t -> unit
+  (** Store a fresh key into cell [off].  Var keys allocate their key
+      block through the allocator (which persistently publishes the
+      cell) and persist the block content; fixed keys just write the
+      cell, leaving persistence to the caller. *)
+
+  val matches : ctx -> off:int -> t -> bool
+
+  val cell_ref : ctx -> off:int -> Pmem.Pptr.t option
+  (** [Some p] for var keys (the pointer in the cell), [None] for
+      fixed: drives the leak audit at recovery. *)
+
+  val move : ctx -> src:int -> dst:int -> unit
+  (** Copy the cell [src] to [dst] without allocating (update path);
+      not persisted — the caller persists the destination range. *)
+
+  val reset_ref : ctx -> off:int -> unit
+  (** Persistently null the cell without deallocating (the key is still
+      referenced by another cell).  No-op for fixed keys. *)
+
+  val clear_cell : ctx -> off:int -> unit
+  (** Null the cell WITHOUT persisting (bulk clearing of stale cells
+      after a split; the caller persists the whole range).  A torn null
+      still reads as null because validity lives in the region-id word.
+      No-op for fixed keys. *)
+
+  val dealloc : ctx -> off:int -> unit
+  (** Free the key block via the allocator, which persistently nulls
+      the cell.  No-op for fixed keys. *)
+end
+
+module Fixed : KEY with type t = int = struct
+  type t = int
+
+  let kind = 0
+  let cell_bytes = 8
+  let inline = true
+  let dummy = min_int
+  let compare = Int.compare
+  let fingerprint = Fingerprint.of_int
+  let dram_bytes _ = 8
+  let read ctx ~off = Int64.to_int (Scm.Region.read_int64 ctx.region off)
+  let write ctx ~off k = Scm.Region.write_int64 ctx.region off (Int64.of_int k)
+  let matches ctx ~off k = read ctx ~off = k
+  let cell_ref _ ~off:_ = None
+  let move ctx ~src ~dst =
+    Scm.Region.write_int64 ctx.region dst (Scm.Region.read_int64 ctx.region src)
+  let reset_ref _ ~off:_ = ()
+  let clear_cell _ ~off:_ = ()
+  let dealloc _ ~off:_ = ()
+end
+
+module Var : KEY with type t = string = struct
+  type t = string
+
+  let kind = 1
+  let cell_bytes = Pmem.Pptr.size_bytes
+  let inline = false
+  let dummy = ""
+  let compare = String.compare
+  let fingerprint = Fingerprint.of_string
+  let dram_bytes s = String.length s + 24 (* OCaml string header etc. *)
+
+  (* Defensive read: a concurrent dirty read can chase a pointer into a
+     block that was freed and reused; clamp and bounds-check so the
+     worst outcome is a key that matches nothing. *)
+  let read ctx ~off =
+    let p = Pmem.Pptr.read ctx.region off in
+    if Pmem.Pptr.is_null p || p.Pmem.Pptr.region_id <> Scm.Region.id ctx.region
+    then ""
+    else
+      let base = p.Pmem.Pptr.off in
+      if base < 0 || base + 8 > Scm.Region.size ctx.region then ""
+      else
+        let len = Int64.to_int (Scm.Region.read_int64 ctx.region base) in
+        if len <= 0 || len > max_var_key_len
+           || base + 8 + len > Scm.Region.size ctx.region
+        then ""
+        else Scm.Region.read_string ctx.region (base + 8) len
+
+  let write ctx ~off k =
+    let len = String.length k in
+    if len = 0 || len > max_var_key_len then
+      invalid_arg "Var key length must be in [1, 4096]";
+    let loc = Pmem.Pptr.Loc.make ctx.region off in
+    Pmem.Palloc.alloc ctx.alloc ~into:loc (8 + len);
+    let p = Pmem.Pptr.Loc.read loc in
+    let base = p.Pmem.Pptr.off in
+    Scm.Region.write_int64 ctx.region base (Int64.of_int len);
+    Scm.Region.write_string ctx.region (base + 8) k;
+    Scm.Region.persist ctx.region base (8 + len)
+
+  let matches ctx ~off k = String.equal (read ctx ~off) k
+  let cell_ref ctx ~off = Some (Pmem.Pptr.read ctx.region off)
+
+  let move ctx ~src ~dst =
+    Pmem.Pptr.write ctx.region dst (Pmem.Pptr.read ctx.region src)
+
+  let reset_ref ctx ~off = Pmem.Pptr.reset_committed ctx.region off
+  let clear_cell ctx ~off = Pmem.Pptr.write ctx.region off Pmem.Pptr.null
+
+  let dealloc ctx ~off =
+    Pmem.Palloc.free ctx.alloc ~from:(Pmem.Pptr.Loc.make ctx.region off)
+end

@@ -1,0 +1,115 @@
+(** Persistent leaf-node layout (Figure 2b).
+
+    A leaf is a fixed-size block in SCM:
+
+    {v
+      fingerprints[m]   (only when fingerprinting is on)
+      bitmap            one 8-byte word: bit s set <=> slot s holds a
+                        valid entry; the p-atomic commit word
+      lock              one byte (layout fidelity; concurrency uses
+                        volatile per-leaf locks, and the paper never
+                        persists leaf locks either)
+      pNext             16-byte persistent pointer to the next leaf
+      data              m key/value cells: interleaved (FPTree) or as
+                        two parallel arrays (PTree)
+    v}
+
+    With m <= 56, 8-byte key cells and fingerprinting on, the
+    fingerprints + bitmap + lock fit exactly in the first cache line —
+    which is why the paper picks 56 as the FPTree leaf size. *)
+
+type t = {
+  m : int;            (** max entries per leaf; <= 64 so the bitmap is one p-atomic word *)
+  key_bytes : int;    (** in-leaf key cell: 8 (inline key) or 16 (pptr to key) *)
+  value_bytes : int;  (** >= 8, multiple of 8; first 8 bytes = value word, rest payload *)
+  fingerprints : bool;
+  split_arrays : bool; (** PTree keeps keys and values in separate arrays *)
+  fp_off : int;
+  bitmap_off : int;
+  lock_off : int;
+  next_off : int;
+  data_off : int;
+  bytes : int;
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let make ~m ~key_bytes ~value_bytes ~fingerprints ~split_arrays =
+  if m < 2 || m > 64 then invalid_arg "Layout.make: m must be in [2, 64]";
+  if value_bytes < 8 || value_bytes mod 8 <> 0 then
+    invalid_arg "Layout.make: value_bytes must be a positive multiple of 8";
+  if key_bytes <> 8 && key_bytes <> 16 then
+    invalid_arg "Layout.make: key cell must be 8 or 16 bytes";
+  let fp_off = 0 in
+  let bitmap_off = align8 (if fingerprints then m else 0) in
+  let lock_off = bitmap_off + 8 in
+  let next_off = align8 (lock_off + 1) in
+  let data_off = next_off + Pmem.Pptr.size_bytes in
+  let bytes = data_off + (m * (key_bytes + value_bytes)) in
+  { m; key_bytes; value_bytes; fingerprints; split_arrays;
+    fp_off; bitmap_off; lock_off; next_off; data_off; bytes }
+
+(* ---- cell addressing (absolute offsets, given the leaf base) ---- *)
+
+let key_off t ~leaf ~slot =
+  if t.split_arrays then leaf + t.data_off + (slot * t.key_bytes)
+  else leaf + t.data_off + (slot * (t.key_bytes + t.value_bytes))
+
+let value_off t ~leaf ~slot =
+  if t.split_arrays then
+    leaf + t.data_off + (t.m * t.key_bytes) + (slot * t.value_bytes)
+  else key_off t ~leaf ~slot + t.key_bytes
+
+(* ---- bitmap: the p-atomic commit word ---- *)
+
+let full_mask t =
+  if t.m = 64 then -1 else (1 lsl t.m) - 1
+
+let read_bitmap r ~leaf t = Int64.to_int (Scm.Region.read_int64 r (leaf + t.bitmap_off))
+
+(** Atomically publish a new validity bitmap and persist it: the single
+    point at which an insert/delete/update becomes visible and durable. *)
+let commit_bitmap r ~leaf t bm =
+  Scm.Region.write_int64_atomic r (leaf + t.bitmap_off) (Int64.of_int bm);
+  Scm.Region.persist r (leaf + t.bitmap_off) 8
+
+let bitmap_count bm =
+  let rec go bm acc = if bm = 0 then acc else go (bm lsr 1) (acc + (bm land 1)) in
+  go bm 0
+
+let bitmap_is_full t bm = bm land full_mask t = full_mask t
+
+(** Index of the first zero bit, or [None] when the leaf is full. *)
+let find_first_zero t bm =
+  let rec go s =
+    if s >= t.m then None
+    else if bm land (1 lsl s) = 0 then Some s
+    else go (s + 1)
+  in
+  go 0
+
+(* ---- fingerprints ---- *)
+
+let read_fp r ~leaf t slot = Scm.Region.read_u8 r (leaf + t.fp_off + slot)
+let write_fp r ~leaf t slot v = Scm.Region.write_u8 r (leaf + t.fp_off + slot) v
+let persist_fp r ~leaf t slot = Scm.Region.persist r (leaf + t.fp_off + slot) 1
+
+(* ---- next pointer ---- *)
+
+let read_next r ~leaf t = Pmem.Pptr.read r (leaf + t.next_off)
+
+let write_next_persist r ~leaf t p =
+  Pmem.Pptr.write r (leaf + t.next_off) p;
+  Scm.Region.persist r (leaf + t.next_off) Pmem.Pptr.size_bytes
+
+(* ---- whole-leaf helpers ---- *)
+
+let zero_leaf r ~leaf t =
+  Scm.Region.fill r leaf t.bytes '\000';
+  Scm.Region.persist r leaf t.bytes
+
+(** Persistently copy the full content of [src] into [dst]
+    (SplitLeaf step 6–7). *)
+let copy_leaf r t ~src ~dst =
+  Scm.Region.blit_internal r ~src ~dst ~len:t.bytes;
+  Scm.Region.persist r dst t.bytes

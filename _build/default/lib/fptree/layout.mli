@@ -1,0 +1,64 @@
+(** Persistent leaf-node layout (Figure 2b of the paper): fingerprints,
+    the p-atomic validity bitmap, the lock byte, the next pointer, and
+    the key/value cells — interleaved (FPTree) or as two parallel
+    arrays (PTree). *)
+
+type t = {
+  m : int;
+  key_bytes : int;
+  value_bytes : int;
+  fingerprints : bool;
+  split_arrays : bool;
+  fp_off : int;
+  bitmap_off : int;
+  lock_off : int;
+  next_off : int;
+  data_off : int;
+  bytes : int;  (** total leaf footprint *)
+}
+
+val align8 : int -> int
+
+(** @raise Invalid_argument on m outside [2,64], value widths that are
+    not positive multiples of 8, or key cells other than 8/16 bytes. *)
+val make :
+  m:int ->
+  key_bytes:int ->
+  value_bytes:int ->
+  fingerprints:bool ->
+  split_arrays:bool ->
+  t
+
+(** {1 Cell addressing} (absolute offsets, given the leaf base) *)
+
+val key_off : t -> leaf:int -> slot:int -> int
+val value_off : t -> leaf:int -> slot:int -> int
+
+(** {1 The p-atomic commit word} *)
+
+val full_mask : t -> int
+val read_bitmap : Scm.Region.t -> leaf:int -> t -> int
+
+(** Atomically publish a new validity bitmap and persist it: the single
+    point at which a leaf mutation becomes visible and durable. *)
+val commit_bitmap : Scm.Region.t -> leaf:int -> t -> int -> unit
+
+val bitmap_count : int -> int
+val bitmap_is_full : t -> int -> bool
+val find_first_zero : t -> int -> int option
+
+(** {1 Fingerprints} *)
+
+val read_fp : Scm.Region.t -> leaf:int -> t -> int -> int
+val write_fp : Scm.Region.t -> leaf:int -> t -> int -> int -> unit
+val persist_fp : Scm.Region.t -> leaf:int -> t -> int -> unit
+
+(** {1 Next pointer and whole-leaf helpers} *)
+
+val read_next : Scm.Region.t -> leaf:int -> t -> Pmem.Pptr.t
+val write_next_persist : Scm.Region.t -> leaf:int -> t -> Pmem.Pptr.t -> unit
+val zero_leaf : Scm.Region.t -> leaf:int -> t -> unit
+
+(** Persistently copy the full content of [src] into [dst]
+    (SplitLeaf steps 6–7). *)
+val copy_leaf : Scm.Region.t -> t -> src:int -> dst:int -> unit

@@ -1,0 +1,93 @@
+(** Micro-logs (Section 5).
+
+    A micro-log is a cache-line-aligned pair of persistent pointers in
+    SCM that makes one structural operation (leaf split, leaf delete,
+    group get, group free) recoverable.  The first pointer doubles as
+    the armed/idle flag: a null first pointer means the log is idle, so
+    it is always set first and reset last, each with its own persist.
+
+    The concurrent FPTree owns an array of micro-logs handed out by a
+    lock-free slot pool (the paper's "transient lock-free queues"). *)
+
+type t = { region : Scm.Region.t; off : int }
+(** A single micro-log: two persistent-pointer fields at [off] and
+    [off + 16], padded to a 64-byte line. *)
+
+let slot_bytes = 64
+
+let make region off =
+  if off mod Scm.Cacheline.line_size <> 0 then
+    invalid_arg "Microlog.make: log must be cache-line aligned";
+  { region; off }
+
+let fst_loc t = Pmem.Pptr.Loc.make t.region t.off
+let snd_loc t = Pmem.Pptr.Loc.make t.region (t.off + Pmem.Pptr.size_bytes)
+
+let read_fst t = Pmem.Pptr.read t.region t.off
+let read_snd t = Pmem.Pptr.read t.region (t.off + Pmem.Pptr.size_bytes)
+
+(* Fields are published crash-atomically: a torn pointer must never be
+   dereferenced by recovery. *)
+let set_fst t p = Pmem.Pptr.write_committed t.region t.off p
+let set_snd t p = Pmem.Pptr.write_committed t.region (t.off + Pmem.Pptr.size_bytes) p
+
+let is_idle t = Pmem.Pptr.is_null (read_fst t)
+
+(** Retire the log: the first field is the armed flag, so it is
+    retracted first; a crash in between leaves a disarmed log with a
+    stale second field, which recovery ignores. *)
+let reset t =
+  Pmem.Pptr.reset_committed t.region t.off;
+  Pmem.Pptr.reset_committed t.region (t.off + Pmem.Pptr.size_bytes)
+
+let format t = reset t
+
+(* ---- lock-free pool of log slots ---- *)
+
+module Pool = struct
+  type log = t
+
+  type t = {
+    logs : log array;
+    free : int Atomic.t; (* bitmask: bit i set <=> slot i free *)
+  }
+
+  let create logs =
+    let n = Array.length logs in
+    if n < 1 || n > 62 then invalid_arg "Microlog.Pool.create: 1..62 slots";
+    { logs; free = Atomic.make ((1 lsl n) - 1) }
+
+  let rec acquire t =
+    let m = Atomic.get t.free in
+    if m = 0 then begin
+      (* All slots in flight: extremely rare (as many concurrent
+         structural ops as slots); spin until one retires. *)
+      Domain.cpu_relax ();
+      acquire t
+    end
+    else
+      let bit = m land -m in
+      if Atomic.compare_and_set t.free m (m lxor bit) then begin
+        let rec log2 i b = if b = 1 then i else log2 (i + 1) (b lsr 1) in
+        t.logs.(log2 0 bit)
+      end
+      else acquire t
+
+  let release t log =
+    let idx =
+      let rec find i =
+        if i >= Array.length t.logs then
+          invalid_arg "Microlog.Pool.release: unknown log"
+        else if t.logs.(i) == log then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let rec cas () =
+      let m = Atomic.get t.free in
+      if not (Atomic.compare_and_set t.free m (m lor (1 lsl idx))) then cas ()
+    in
+    cas ()
+
+  let iter f t = Array.iter f t.logs
+end

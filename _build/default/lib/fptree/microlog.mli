@@ -1,0 +1,43 @@
+(** Micro-logs (Section 5 of the paper).
+
+    A cache-line-aligned pair of persistent pointers that makes one
+    structural operation (leaf split, leaf delete, group get/free)
+    recoverable.  The first field doubles as the armed flag: null means
+    idle, so it is set first and retracted first on reset; both fields
+    are published crash-atomically. *)
+
+type t
+
+val slot_bytes : int
+
+(** @raise Invalid_argument if [off] is not cache-line aligned. *)
+val make : Scm.Region.t -> int -> t
+
+val fst_loc : t -> Pmem.Pptr.Loc.loc
+val snd_loc : t -> Pmem.Pptr.Loc.loc
+val read_fst : t -> Pmem.Pptr.t
+val read_snd : t -> Pmem.Pptr.t
+val set_fst : t -> Pmem.Pptr.t -> unit
+val set_snd : t -> Pmem.Pptr.t -> unit
+val is_idle : t -> bool
+
+(** Retire the log (first field retracted first). *)
+val reset : t -> unit
+
+val format : t -> unit
+
+(** Lock-free pool of log slots — the paper's "transient lock-free
+    queues" indexing the concurrent FPTree's micro-log arrays. *)
+module Pool : sig
+  type log := t
+  type t
+
+  (** @raise Invalid_argument outside 1..62 slots. *)
+  val create : log array -> t
+
+  (** Blocks (spinning) only if every slot is in flight. *)
+  val acquire : t -> log
+
+  val release : t -> log -> unit
+  val iter : (log -> unit) -> t -> unit
+end

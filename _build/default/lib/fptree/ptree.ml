@@ -1,0 +1,23 @@
+(** PTree: the light FPTree variant (Section 5) implementing only
+    selective persistence and unsorted leaves — no fingerprints, no
+    leaf groups — with keys and values kept in separate in-leaf arrays
+    for better locality of the linear key scan. *)
+
+module Fixed = struct
+  include Tree.Make (Keys.Fixed)
+
+  let name = "PTree"
+
+  let create ?(m = Tree.ptree_config.Tree.m) ?(value_bytes = 8)
+      ?(inner_keys = Tree.ptree_config.Tree.inner_keys) alloc =
+    create ~config:{ Tree.ptree_config with m; value_bytes; inner_keys } alloc
+end
+
+module Var = struct
+  include Tree.Make (Keys.Var)
+
+  let name = "PTreeVar"
+
+  let create ?(m = 32) ?(value_bytes = 8) ?(inner_keys = 256) alloc =
+    create ~config:{ Tree.ptree_config with m; value_bytes; inner_keys } alloc
+end

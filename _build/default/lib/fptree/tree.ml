@@ -1,0 +1,1061 @@
+(** The Fingerprinting Persistent Tree (Sections 4 and 5).
+
+    Functor over the key representation ({!Keys.KEY}); instantiations:
+    {!Fixed} (8-byte integer keys), {!Var} (string keys, Appendix C),
+    and the {!Ptree} configurations (no fingerprints, split key/value
+    arrays).
+
+    One [Tree.Make(K).t] is both the single-threaded FPTree (configure
+    [use_groups = true], one micro-log of each kind) and the concurrent
+    FPTreeC (configure [use_groups = false], a pool of micro-logs): the
+    operations always follow the Selective Concurrency protocol of
+    Section 4.4 — traversal and leaf-lock acquisition inside a
+    speculative (HTM-emulating) transaction, persistent leaf mutation
+    outside it under the leaf lock, inner-node updates inside a writer
+    transaction — which degrades to negligible overhead when run by a
+    single thread. *)
+
+module Spec = Htm.Speculative_lock
+module Region = Scm.Region
+module Pptr = Pmem.Pptr
+
+type config = {
+  m : int;               (** leaf capacity (2..64) *)
+  value_bytes : int;     (** persisted value footprint; >= 8, mult. of 8 *)
+  inner_keys : int;      (** max keys per DRAM inner node *)
+  fingerprints : bool;
+  split_arrays : bool;   (** PTree layout: keys and values in separate arrays *)
+  use_groups : bool;     (** amortized leaf-group allocation (single-threaded) *)
+  group_size : int;
+  n_split_logs : int;
+  n_delete_logs : int;
+  htm_retries : int;
+}
+
+(** Single-threaded FPTree defaults (Table 1: leaf 56, inner 4096). *)
+let fptree_config =
+  { m = 56; value_bytes = 8; inner_keys = 4096; fingerprints = true;
+    split_arrays = false; use_groups = true; group_size = 8;
+    n_split_logs = 1; n_delete_logs = 1; htm_retries = 8 }
+
+(** Concurrent FPTree defaults (Table 1: leaf 64, inner 128; no leaf
+    groups — they are a central synchronization point). *)
+let fptree_concurrent_config =
+  { fptree_config with m = 64; inner_keys = 128; use_groups = false;
+    n_split_logs = 56; n_delete_logs = 56 }
+
+(** PTree: selective persistence + unsorted leaves only (Table 1:
+    leaf 32, inner 4096), keys and values in separate arrays. *)
+let ptree_config =
+  { fptree_config with m = 32; fingerprints = false; split_arrays = true;
+    use_groups = false }
+
+type stats = {
+  mutable key_probes : int;  (** in-leaf key comparisons (Figure 4) *)
+  mutable finds : int;
+  mutable inserts : int;
+  mutable updates : int;
+  mutable deletes : int;
+  mutable leaf_splits : int;
+  mutable leaf_deletes : int;
+}
+
+module Make (K : Keys.KEY) = struct
+  type key = K.t
+
+  type t = {
+    ctx : Keys.ctx;
+    layout : Layout.t;
+    config : config;
+    meta : int; (* offset of the persistent tree descriptor *)
+    spec : Spec.t;
+    mutable inner : K.t Inner.t;
+    split_logs : Microlog.Pool.t;
+    delete_logs : Microlog.Pool.t;
+    getleaf_log : Microlog.t;
+    freeleaf_log : Microlog.t;
+    (* volatile leaf-group bookkeeping (single-threaded mode) *)
+    mutable free_leaves : int list;
+    leaf_group : (int, int) Hashtbl.t;      (* leaf off -> group off *)
+    group_free : (int, int ref) Hashtbl.t;  (* group off -> #free leaves *)
+    stats : stats;
+  }
+
+  let region t = t.ctx.Keys.region
+  (* Shared-record stat writes ping-pong cache lines between domains;
+     skip them when the simulator's counting is off (parallel runs). *)
+  let stats_on () = Scm.Config.current.Scm.Config.stats
+
+  let alloc t = t.ctx.Keys.alloc
+
+  (* ---- persistent tree descriptor layout ---- *)
+
+  let meta_status = 0
+  let meta_m = 8
+  let meta_value_bytes = 16
+  let meta_key_kind = 24
+  let meta_flags = 32
+  let meta_n_split = 40
+  let meta_n_delete = 48
+  let meta_group_size = 56
+  let meta_head = 64
+  let meta_group_head = 80
+  let meta_group_tail = 96
+  let meta_logs = 128
+
+  let meta_bytes cfg =
+    meta_logs + ((cfg.n_split_logs + cfg.n_delete_logs + 2) * Microlog.slot_bytes)
+
+  let split_log_off t i = t.meta + meta_logs + (i * Microlog.slot_bytes)
+  let delete_log_off t i = split_log_off t (t.config.n_split_logs + i)
+  let getleaf_log_off t =
+    split_log_off t (t.config.n_split_logs + t.config.n_delete_logs)
+  let freeleaf_log_off t = getleaf_log_off t + Microlog.slot_bytes
+
+  let read_meta_word t off = Int64.to_int (Region.read_int64 (region t) (t.meta + off))
+
+  let write_meta_word t off v =
+    Region.write_int64_atomic (region t) (t.meta + off) (Int64.of_int v);
+    Region.persist (region t) (t.meta + off) 8
+
+  let read_head t = Pptr.read (region t) (t.meta + meta_head)
+  let write_head t p = Pptr.write_committed (region t) (t.meta + meta_head) p
+  let read_group_head t = Pptr.read (region t) (t.meta + meta_group_head)
+  let write_group_head t p = Pptr.write_committed (region t) (t.meta + meta_group_head) p
+  let read_group_tail t = Pptr.read (region t) (t.meta + meta_group_tail)
+  let write_group_tail t p = Pptr.write_committed (region t) (t.meta + meta_group_tail) p
+
+  let pptr_of t off = Pptr.of_region (region t) ~off
+
+  (* ---- leaf accessors ---- *)
+
+  let leaf_bitmap t leaf = Layout.read_bitmap (region t) ~leaf t.layout
+  let leaf_next t leaf = Layout.read_next (region t) ~leaf t.layout
+
+  let leaf_is_full t leaf =
+    Layout.bitmap_is_full t.layout (leaf_bitmap t leaf)
+
+  let key_cell t leaf slot = Layout.key_off t.layout ~leaf ~slot
+  let value_cell t leaf slot = Layout.value_off t.layout ~leaf ~slot
+
+  let read_value t leaf slot =
+    Int64.to_int (Region.read_int64 (region t) (value_cell t leaf slot))
+
+  let read_key t leaf slot = K.read t.ctx ~off:(key_cell t leaf slot)
+
+  (** Find the slot holding [k]: scan the fingerprints first, probe keys
+      only on a fingerprint hit (Algorithm 1's inner loop).  The whole
+      fingerprint array is loaded with one access — it occupies the
+      first cache-line-sized piece of the leaf by design. *)
+  let find_slot t leaf k h =
+    let bm = leaf_bitmap t leaf in
+    if bm = 0 then None
+    else if t.layout.Layout.fingerprints then begin
+      (* Scan the fingerprint array a word at a time (allocation-free:
+         stop-the-world minor collections would serialize concurrent
+         readers); bytes are extracted in registers. *)
+      let r = region t in
+      let m = t.layout.Layout.m in
+      let fp_base = leaf + t.layout.Layout.fp_off in
+      let words = (m + 7) / 8 in
+      let rec scan_word wi =
+        if wi >= words then None
+        else begin
+          let w = Region.read_int64 r (fp_base + (wi * 8)) in
+          let rec scan_byte j =
+            if j >= 8 then scan_word (wi + 1)
+            else
+              let s = (wi * 8) + j in
+              if
+                s < m
+                && bm land (1 lsl s) <> 0
+                && Int64.to_int (Int64.shift_right_logical w (j * 8)) land 0xff = h
+              then begin
+                if stats_on () then
+                  t.stats.key_probes <- t.stats.key_probes + 1;
+                if K.matches t.ctx ~off:(key_cell t leaf s) k then Some s
+                else scan_byte (j + 1)
+              end
+              else scan_byte (j + 1)
+          in
+          scan_byte 0
+        end
+      in
+      scan_word 0
+    end
+    else
+      let rec go s =
+        if s >= t.layout.Layout.m then None
+        else if bm land (1 lsl s) <> 0 then begin
+          if stats_on () then t.stats.key_probes <- t.stats.key_probes + 1;
+          if K.matches t.ctx ~off:(key_cell t leaf s) k then Some s else go (s + 1)
+        end
+        else go (s + 1)
+      in
+      go 0
+
+  (** Write entry [k, v] into free slot [slot] and persist it; the entry
+      stays invisible until the bitmap is committed (Algorithm 2,
+      lines 12–15 / Algorithm 14, lines 12–18). *)
+  let write_entry t leaf slot k v h =
+    let r = region t in
+    let koff = key_cell t leaf slot in
+    let voff = value_cell t leaf slot in
+    K.write t.ctx ~off:koff k;
+    Region.write_int64 r voff (Int64.of_int v);
+    if t.layout.Layout.value_bytes > 8 then
+      Region.fill r (voff + 8) (t.layout.Layout.value_bytes - 8) '\000';
+    (if t.layout.Layout.split_arrays then begin
+       if K.inline then Region.persist r koff K.cell_bytes;
+       Region.persist r voff t.layout.Layout.value_bytes
+     end
+     else if K.inline then
+       Region.persist r koff (K.cell_bytes + t.layout.Layout.value_bytes)
+     else Region.persist r voff t.layout.Layout.value_bytes);
+    if t.layout.Layout.fingerprints then begin
+      Layout.write_fp r ~leaf t.layout slot h;
+      Layout.persist_fp r ~leaf t.layout slot
+    end
+
+  (* ---- leaf locks (volatile; Selective Concurrency) ---- *)
+
+  let try_lock (l : Inner.leaf_ref) = Atomic.compare_and_set l.Inner.lock false true
+  let unlock (l : Inner.leaf_ref) = Atomic.set l.Inner.lock false
+  let is_locked (l : Inner.leaf_ref) = Atomic.get l.Inner.lock
+
+  (* ---- leaf groups (Section 4.3 and Appendix B) ---- *)
+
+  let leaf_span t = Scm.Cacheline.align_up t.layout.Layout.bytes 64
+  let group_bytes t = 64 + (t.config.group_size * leaf_span t)
+  let group_leaf t g i = g + 64 + (i * leaf_span t)
+
+  let group_next t g = Pptr.read (region t) g
+  let write_group_next t g p = Pptr.write_committed (region t) g p
+
+  let register_group t g =
+    Hashtbl.replace t.group_free g (ref 0);
+    for i = t.config.group_size - 1 downto 0 do
+      let l = group_leaf t g i in
+      Hashtbl.replace t.leaf_group l g
+    done
+
+  let add_free_leaf t l =
+    t.free_leaves <- l :: t.free_leaves;
+    incr (Hashtbl.find t.group_free (Hashtbl.find t.leaf_group l))
+
+  (* Append group [g] to the persistent group list; idempotent so that
+     recovery can redo it. *)
+  let link_group t g =
+    let gp = pptr_of t g in
+    let tail = read_group_tail t in
+    if Pptr.is_null tail then write_group_head t gp
+    else write_group_next t tail.Pptr.off gp;
+    write_group_tail t gp
+
+  (** GetLeaf (Algorithm 10): take a free leaf, allocating and linking a
+      fresh group of [group_size] leaves when the pool is empty. *)
+  let get_leaf t =
+    if t.free_leaves = [] then begin
+      let log = t.getleaf_log in
+      Pmem.Palloc.alloc (alloc t) ~into:(Microlog.fst_loc log) (group_bytes t);
+      let g = (Microlog.read_fst log).Pptr.off in
+      Pptr.reset_committed (region t) g; (* group.next = null *)
+      link_group t g;
+      Microlog.reset log;
+      register_group t g;
+      for i = 0 to t.config.group_size - 1 do
+        add_free_leaf t (group_leaf t g i)
+      done
+    end;
+    match t.free_leaves with
+    | [] -> assert false
+    | l :: rest ->
+      t.free_leaves <- rest;
+      decr (Hashtbl.find t.group_free (Hashtbl.find t.leaf_group l));
+      l
+
+  let recover_getleaf t =
+    let log = t.getleaf_log in
+    if not (Microlog.is_idle log) then begin
+      let g = (Microlog.read_fst log).Pptr.off in
+      let tail = read_group_tail t in
+      if Pptr.is_null tail || tail.Pptr.off <> g then begin
+        (* Crashed before the group was fully linked: redo. *)
+        Pptr.reset_committed (region t) g;
+        link_group t g
+      end;
+      Microlog.reset log
+    end
+
+  (* Recompute the persistent group-list tail by walking from the head
+     (recovery helper for group frees; idempotent). *)
+  let fix_group_tail t =
+    let rec last p =
+      if Pptr.is_null p then Pptr.null
+      else
+        let next = group_next t p.Pptr.off in
+        if Pptr.is_null next then p else last next
+    in
+    let tail = last (read_group_head t) in
+    if not (Pptr.equal (read_group_tail t) tail) then write_group_tail t tail
+
+  (* Unlink and deallocate a fully-free group (Algorithm 12). *)
+  let free_group t g =
+    t.free_leaves <- List.filter (fun l -> Hashtbl.find t.leaf_group l <> g) t.free_leaves;
+    for i = 0 to t.config.group_size - 1 do
+      Hashtbl.remove t.leaf_group (group_leaf t g i)
+    done;
+    Hashtbl.remove t.group_free g;
+    let log = t.freeleaf_log in
+    Microlog.set_fst log (pptr_of t g);
+    let head = read_group_head t in
+    (if head.Pptr.off = g then write_group_head t (group_next t g)
+     else begin
+       (* find the predecessor group *)
+       let rec pred p =
+         let next = group_next t p.Pptr.off in
+         if next.Pptr.off = g then p else pred next
+       in
+       let prev = pred head in
+       Microlog.set_snd log prev;
+       write_group_next t prev.Pptr.off (group_next t g)
+     end);
+    if (read_group_tail t).Pptr.off = g then fix_group_tail t;
+    Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
+    Microlog.reset log
+
+  let recover_freeleaf t =
+    let log = t.freeleaf_log in
+    if not (Microlog.is_idle log) then begin
+      let gp = Microlog.read_fst log in
+      let g = gp.Pptr.off in
+      let prev = Microlog.read_snd log in
+      let head = read_group_head t in
+      let finish () =
+        fix_group_tail t;
+        Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
+        Microlog.reset log
+      in
+      if not (Pptr.is_null prev) then begin
+        write_group_next t prev.Pptr.off (group_next t g);
+        finish ()
+      end
+      else if (not (Pptr.is_null head)) && head.Pptr.off = g then begin
+        write_group_head t (group_next t g);
+        finish ()
+      end
+      else if Pptr.equal (group_next t g) head then finish ()
+      else Microlog.reset log
+    end
+
+  (** FreeLeaf (Algorithm 12): return a leaf to the volatile pool and
+      deallocate its group once fully free. *)
+  let free_leaf t l =
+    add_free_leaf t l;
+    let g = Hashtbl.find t.leaf_group l in
+    if !(Hashtbl.find t.group_free g) = t.config.group_size then free_group t g
+
+  (* ---- leaf split (Algorithm 3) ---- *)
+
+  (* Median discriminator and the bitmap of entries that move to the
+     new (upper) leaf. *)
+  let find_split_key t leaf =
+    let bm = leaf_bitmap t leaf in
+    let entries = ref [] in
+    for s = 0 to t.layout.Layout.m - 1 do
+      if bm land (1 lsl s) <> 0 then entries := (read_key t leaf s, s) :: !entries
+    done;
+    let sorted = List.sort (fun (a, _) (b, _) -> K.compare a b) !entries in
+    let n = List.length sorted in
+    let sep = fst (List.nth sorted ((n - 1) / 2)) in
+    let upper =
+      List.fold_left
+        (fun acc (k, s) -> if K.compare k sep > 0 then acc lor (1 lsl s) else acc)
+        0 sorted
+    in
+    (sep, upper)
+
+  (* After the bitmaps partition a split leaf, unset slots in both
+     halves still hold byte copies of out-of-line key pointers; the
+     recovery leak audit (Algorithm 17) would misread them as orphaned
+     allocations and free live keys.  Null them in bulk (a torn null is
+     still null) while the split micro-log is armed, so a crash replays
+     the clearing. *)
+  let clear_stale_cells t leaf =
+    if not K.inline then begin
+      let bm = leaf_bitmap t leaf in
+      for s = 0 to t.layout.Layout.m - 1 do
+        if bm land (1 lsl s) = 0 then K.clear_cell t.ctx ~off:(key_cell t leaf s)
+      done;
+      Scm.Region.persist (region t) (leaf + t.layout.Layout.data_off)
+        (t.layout.Layout.bytes - t.layout.Layout.data_off)
+    end
+
+  let do_split_steps t ~cur ~fresh =
+    let r = region t in
+    Layout.copy_leaf r t.layout ~src:cur ~dst:fresh;
+    let sep, upper = find_split_key t cur in
+    Layout.commit_bitmap r ~leaf:fresh t.layout upper;
+    Layout.commit_bitmap r ~leaf:cur t.layout
+      (Layout.full_mask t.layout land lnot upper);
+    clear_stale_cells t cur;
+    clear_stale_cells t fresh;
+    Layout.write_next_persist r ~leaf:cur t.layout (pptr_of t fresh);
+    sep
+
+  let split_leaf t (leaf : Inner.leaf_ref) =
+    if stats_on () then t.stats.leaf_splits <- t.stats.leaf_splits + 1;
+    let log = Microlog.Pool.acquire t.split_logs in
+    Microlog.set_fst log (pptr_of t leaf.Inner.off);
+    let fresh =
+      if t.config.use_groups then begin
+        let l = get_leaf t in
+        Microlog.set_snd log (pptr_of t l);
+        l
+      end
+      else begin
+        Pmem.Palloc.alloc (alloc t) ~into:(Microlog.snd_loc log)
+          t.layout.Layout.bytes;
+        (Microlog.read_snd log).Pptr.off
+      end
+    in
+    let sep = do_split_steps t ~cur:leaf.Inner.off ~fresh in
+    Microlog.reset log;
+    Microlog.Pool.release t.split_logs log;
+    (sep, Inner.leaf_ref fresh)
+
+  let recover_split t log =
+    if not (Microlog.is_idle log) then begin
+      let cur = (Microlog.read_fst log).Pptr.off in
+      let snd = Microlog.read_snd log in
+      if Pptr.is_null snd then
+        (* Crashed before the new leaf was obtained: roll back. *)
+        Microlog.reset log
+      else begin
+        let fresh = snd.Pptr.off in
+        let r = region t in
+        if Layout.bitmap_is_full t.layout (leaf_bitmap t cur) then
+          (* Crashed before the split leaf's bitmap shrank: redo the
+             split from the copy phase (Algorithm 4, SplitLeaf:6). *)
+          ignore (do_split_steps t ~cur ~fresh)
+        else begin
+          (* Crashed after the bitmap update: redo from SplitLeaf:11. *)
+          let upper = leaf_bitmap t fresh in
+          Layout.commit_bitmap r ~leaf:cur t.layout
+            (Layout.full_mask t.layout land lnot upper);
+          clear_stale_cells t cur;
+          clear_stale_cells t fresh;
+          Layout.write_next_persist r ~leaf:cur t.layout (pptr_of t fresh)
+        end;
+        Microlog.reset log
+      end
+    end
+
+  (* ---- leaf delete (Algorithm 6) ---- *)
+
+  let delete_leaf t (leaf : Inner.leaf_ref) (prev : Inner.leaf_ref option) =
+    if stats_on () then t.stats.leaf_deletes <- t.stats.leaf_deletes + 1;
+    let log = Microlog.Pool.acquire t.delete_logs in
+    let lp = pptr_of t leaf.Inner.off in
+    Microlog.set_fst log lp;
+    let head = read_head t in
+    (if Pptr.equal head lp then write_head t (leaf_next t leaf.Inner.off)
+     else begin
+       let p = Option.get prev in
+       Microlog.set_snd log (pptr_of t p.Inner.off);
+       Layout.write_next_persist (region t) ~leaf:p.Inner.off t.layout
+         (leaf_next t leaf.Inner.off)
+     end);
+    if t.config.use_groups then begin
+      (* The leaf is unlinked; its storage is managed by the group
+         machinery, which has its own micro-log. *)
+      Microlog.reset log;
+      free_leaf t leaf.Inner.off
+    end
+    else Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
+    Microlog.reset log;
+    Microlog.Pool.release t.delete_logs log
+
+  let recover_delete t log =
+    if not (Microlog.is_idle log) then begin
+      let curp = Microlog.read_fst log in
+      let cur = curp.Pptr.off in
+      let prev = Microlog.read_snd log in
+      let head = read_head t in
+      let release () =
+        if not t.config.use_groups then
+          Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
+        Microlog.reset log
+      in
+      if not (Pptr.is_null prev) then begin
+        (* Crashed between DeleteLeaf:12 and :14: redo the unlink. *)
+        Layout.write_next_persist (region t) ~leaf:prev.Pptr.off t.layout
+          (leaf_next t cur);
+        release ()
+      end
+      else if Pptr.equal curp head then begin
+        (* Crashed at DeleteLeaf:7: redo the head update. *)
+        write_head t (leaf_next t cur);
+        release ()
+      end
+      else if Pptr.equal (leaf_next t cur) head then
+        (* Crashed at DeleteLeaf:14: head already updated. *)
+        release ()
+      else Microlog.reset log
+    end
+
+  (* ---- speculative-section helpers ---- *)
+
+  (* Acquire the leaf responsible for [k] with its lock held, via a
+     speculative transaction (steps 1–2 of Figure 6). *)
+  let lock_leaf_for t k =
+    Spec.with_txn t.spec ~on_rollback:unlock (fun () ->
+        let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
+        if try_lock leaf then Spec.Commit leaf else Spec.Abort)
+
+  (* ---- base operations ---- *)
+
+  let find t k =
+    if stats_on () then t.stats.finds <- t.stats.finds + 1;
+    let h = K.fingerprint k in
+    Spec.with_txn t.spec (fun () ->
+        let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
+        if is_locked leaf then Spec.Abort
+        else begin
+          let res =
+            match find_slot t leaf.Inner.off k h with
+            | Some s -> Some (read_value t leaf.Inner.off s)
+            | None -> None
+          in
+          (* The leaf was quiescent for the whole probe only if its lock
+             is still free (a writer flips it before touching content). *)
+          if is_locked leaf then Spec.Abort else Spec.Commit res
+        end)
+
+  let insert_into_nonfull t leaf k v h =
+    let bm = leaf_bitmap t leaf in
+    match Layout.find_first_zero t.layout bm with
+    | None -> assert false
+    | Some slot ->
+      write_entry t leaf slot k v h;
+      Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot))
+
+  let insert t k v =
+    if stats_on () then t.stats.inserts <- t.stats.inserts + 1;
+    let h = K.fingerprint k in
+    let leaf = lock_leaf_for t k in
+    match find_slot t leaf.Inner.off k h with
+    | Some _ ->
+      unlock leaf;
+      false (* unique-key tree: duplicate insert is a no-op *)
+    | None ->
+      if leaf_is_full t leaf.Inner.off then begin
+        let sep, right = split_leaf t leaf in
+        let target = if K.compare k sep <= 0 then leaf else right in
+        insert_into_nonfull t target.Inner.off k v h;
+        Spec.with_write t.spec (fun () ->
+            Inner.update_parents t.inner K.compare ~sep ~right);
+        unlock leaf;
+        true
+      end
+      else begin
+        insert_into_nonfull t leaf.Inner.off k v h;
+        unlock leaf;
+        true
+      end
+
+  let update t k v =
+    if stats_on () then t.stats.updates <- t.stats.updates + 1;
+    let h = K.fingerprint k in
+    let leaf = lock_leaf_for t k in
+    match find_slot t leaf.Inner.off k h with
+    | None ->
+      unlock leaf;
+      false
+    | Some prev_slot ->
+      (* Insert-after-delete published by a single p-atomic bitmap
+         write (Algorithm 8 / 16). *)
+      let target, prev_slot, did_split, sep_right =
+        if leaf_is_full t leaf.Inner.off then begin
+          let sep, right = split_leaf t leaf in
+          let target = if K.compare k sep <= 0 then leaf else right in
+          let slot =
+            match find_slot t target.Inner.off k h with
+            | Some s -> s
+            | None -> assert false
+          in
+          (target, slot, true, Some (sep, right))
+        end
+        else (leaf, prev_slot, false, None)
+      in
+      let tl = target.Inner.off in
+      let bm = leaf_bitmap t tl in
+      let slot =
+        match Layout.find_first_zero t.layout bm with
+        | Some s -> s
+        | None -> assert false
+      in
+      let r = region t in
+      if K.inline then write_entry t tl slot k v h
+      else begin
+        (* Var keys: reuse the existing key block (Algorithm 16). *)
+        K.move t.ctx ~src:(key_cell t tl prev_slot) ~dst:(key_cell t tl slot);
+        Region.write_int64 r (value_cell t tl slot) (Int64.of_int v);
+        if t.layout.Layout.value_bytes > 8 then
+          Region.fill r (value_cell t tl slot + 8)
+            (t.layout.Layout.value_bytes - 8) '\000';
+        Region.persist r (key_cell t tl slot)
+          (K.cell_bytes
+          + if t.layout.Layout.split_arrays then 0 else t.layout.Layout.value_bytes);
+        if t.layout.Layout.split_arrays then
+          Region.persist r (value_cell t tl slot) t.layout.Layout.value_bytes;
+        if t.layout.Layout.fingerprints then begin
+          Layout.write_fp r ~leaf:tl t.layout slot h;
+          Layout.persist_fp r ~leaf:tl t.layout slot
+        end
+      end;
+      let bm' = bm land lnot (1 lsl prev_slot) lor (1 lsl slot) in
+      Layout.commit_bitmap r ~leaf:tl t.layout bm';
+      if not K.inline then K.reset_ref t.ctx ~off:(key_cell t tl prev_slot);
+      (match sep_right with
+      | Some (sep, right) when did_split ->
+        Spec.with_write t.spec (fun () ->
+            Inner.update_parents t.inner K.compare ~sep ~right)
+      | _ -> ());
+      unlock leaf;
+      true
+
+  type delete_decision =
+    | Del_in_leaf of Inner.leaf_ref
+    | Del_whole_leaf of Inner.leaf_ref * Inner.leaf_ref option
+
+  let delete t k =
+    if stats_on () then t.stats.deletes <- t.stats.deletes + 1;
+    let h = K.fingerprint k in
+    let rollback = function
+      | Del_in_leaf l -> unlock l
+      | Del_whole_leaf (l, p) ->
+        unlock l;
+        Option.iter unlock p
+    in
+    let decision =
+      Spec.with_txn t.spec ~on_rollback:rollback (fun () ->
+          let leaf, prev =
+            Inner.find_leaf_and_prev K.compare t.inner.Inner.root k
+          in
+          if not (try_lock leaf) then Spec.Abort
+          else begin
+            (* Content is stable now that the lock is held. *)
+            let bm = leaf_bitmap t leaf.Inner.off in
+            let single =
+              Layout.bitmap_count bm = 1
+              && find_slot t leaf.Inner.off k h <> None
+            in
+            let sole =
+              prev = None && Pptr.is_null (leaf_next t leaf.Inner.off)
+            in
+            if single && not sole then
+              match prev with
+              | None -> Spec.Commit (Del_whole_leaf (leaf, None))
+              | Some p ->
+                if try_lock p then Spec.Commit (Del_whole_leaf (leaf, Some p))
+                else begin
+                  unlock leaf;
+                  Spec.Abort
+                end
+            else Spec.Commit (Del_in_leaf leaf)
+          end)
+    in
+    match decision with
+    | Del_in_leaf leaf -> (
+      match find_slot t leaf.Inner.off k h with
+      | None ->
+        unlock leaf;
+        false
+      | Some slot ->
+        let bm = leaf_bitmap t leaf.Inner.off in
+        Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
+          (bm land lnot (1 lsl slot));
+        K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot);
+        unlock leaf;
+        true)
+    | Del_whole_leaf (leaf, prev) ->
+      (* Var keys: clear the entry and free its key block first
+         (Algorithm 15, lines 16–18). *)
+      (if not K.inline then
+         match find_slot t leaf.Inner.off k h with
+         | Some slot ->
+           let bm = leaf_bitmap t leaf.Inner.off in
+           Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
+             (bm land lnot (1 lsl slot));
+           K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot)
+         | None -> assert false);
+      Spec.with_write t.spec (fun () -> Inner.remove_leaf t.inner K.compare k);
+      delete_leaf t leaf prev;
+      Option.iter unlock prev;
+      true
+
+  (** Inclusive range scan via the leaf linked list.  Reads are dirty
+      (no leaf locks taken); the result is sorted. *)
+  let range t ~lo ~hi =
+    if K.compare lo hi > 0 then []
+    else begin
+      let start =
+        Spec.with_txn t.spec (fun () ->
+            Spec.Commit (Inner.find_leaf K.compare t.inner.Inner.root lo))
+      in
+      let acc = ref [] in
+      let rec walk leaf =
+        let bm = leaf_bitmap t leaf in
+        let any_le_hi = ref false in
+        let nonempty = bm <> 0 in
+        for s = 0 to t.layout.Layout.m - 1 do
+          if bm land (1 lsl s) <> 0 then begin
+            let k = read_key t leaf s in
+            if K.compare k hi <= 0 then begin
+              any_le_hi := true;
+              if K.compare lo k <= 0 then
+                acc := (k, read_value t leaf s) :: !acc
+            end
+          end
+        done;
+        if nonempty && not !any_le_hi then ()
+        else
+          let next = leaf_next t leaf in
+          if not (Pptr.is_null next) then walk next.Pptr.off
+      in
+      walk start.Inner.off;
+      List.sort (fun (a, _) (b, _) -> K.compare a b) !acc
+    end
+
+  (* ---- iteration / introspection ---- *)
+
+  let iter_leaves t f =
+    let rec go p =
+      if not (Pptr.is_null p) then begin
+        f p.Pptr.off;
+        go (leaf_next t p.Pptr.off)
+      end
+    in
+    go (read_head t)
+
+  let iter t f =
+    iter_leaves t (fun leaf ->
+        let bm = leaf_bitmap t leaf in
+        for s = 0 to t.layout.Layout.m - 1 do
+          if bm land (1 lsl s) <> 0 then f (read_key t leaf s) (read_value t leaf s)
+        done)
+
+  let count t =
+    let n = ref 0 in
+    iter_leaves t (fun leaf -> n := !n + Layout.bitmap_count (leaf_bitmap t leaf));
+    !n
+
+  let leaf_count t =
+    let n = ref 0 in
+    iter_leaves t (fun _ -> incr n);
+    !n
+
+  let height t = Inner.height t.inner.Inner.root
+
+  (** DRAM footprint: inner nodes plus group bookkeeping. *)
+  let dram_bytes t =
+    Inner.dram_bytes t.inner ~key_bytes:(K.dram_bytes K.dummy)
+    + (List.length t.free_leaves * 8)
+    + (Hashtbl.length t.leaf_group * 16)
+
+  (** SCM footprint of the tree's arena (live allocated bytes). *)
+  let scm_bytes t = Pmem.Palloc.live_bytes (alloc t)
+
+  let stats t = t.stats
+  let spec_stats t = Spec.stats t.spec
+
+  let reset_stats t =
+    let s = t.stats in
+    s.key_probes <- 0; s.finds <- 0; s.inserts <- 0; s.updates <- 0;
+    s.deletes <- 0; s.leaf_splits <- 0; s.leaf_deletes <- 0
+
+  (* ---- construction and recovery ---- *)
+
+  let make_logs t_region meta cfg =
+    let split =
+      Array.init cfg.n_split_logs (fun i ->
+          Microlog.make t_region (meta + meta_logs + (i * Microlog.slot_bytes)))
+    in
+    let del =
+      Array.init cfg.n_delete_logs (fun i ->
+          Microlog.make t_region
+            (meta + meta_logs + ((cfg.n_split_logs + i) * Microlog.slot_bytes)))
+    in
+    let getl =
+      Microlog.make t_region
+        (meta + meta_logs
+        + ((cfg.n_split_logs + cfg.n_delete_logs) * Microlog.slot_bytes))
+    in
+    let freel =
+      Microlog.make t_region
+        (meta + meta_logs
+        + ((cfg.n_split_logs + cfg.n_delete_logs + 1) * Microlog.slot_bytes))
+    in
+    (split, del, getl, freel)
+
+  let fresh_stats () =
+    { key_probes = 0; finds = 0; inserts = 0; updates = 0; deletes = 0;
+      leaf_splits = 0; leaf_deletes = 0 }
+
+  let layout_of_config cfg ~key_cell_bytes =
+    Layout.make ~m:cfg.m ~key_bytes:key_cell_bytes ~value_bytes:cfg.value_bytes
+      ~fingerprints:cfg.fingerprints ~split_arrays:cfg.split_arrays
+
+  let build_volatile ctx cfg meta =
+    let layout = layout_of_config cfg ~key_cell_bytes:K.cell_bytes in
+    let split, del, getl, freel = make_logs ctx.Keys.region meta cfg in
+    {
+      ctx; layout; config = cfg; meta;
+      spec = Spec.create ~retry_threshold:cfg.htm_retries ();
+      inner = Inner.create ~fanout:(cfg.inner_keys + 1) ~dummy_key:K.dummy
+                (Inner.leaf_ref (-1));
+      split_logs = Microlog.Pool.create split;
+      delete_logs = Microlog.Pool.create del;
+      getleaf_log = getl;
+      freeleaf_log = freel;
+      free_leaves = [];
+      leaf_group = Hashtbl.create 64;
+      group_free = Hashtbl.create 16;
+      stats = fresh_stats ();
+    }
+
+  (* Finish initialization: runs both on first creation and on recovery
+     from a crash that hit during creation (Algorithm 9, line 1–2). *)
+  let complete_init t =
+    recover_getleaf t;
+    recover_freeleaf t;
+    (if Pptr.is_null (read_head t) then
+       if t.config.use_groups then begin
+         (* Group membership must be rebuilt before get_leaf. *)
+         let rec scan p =
+           if not (Pptr.is_null p) then begin
+             register_group t p.Pptr.off;
+             for i = 0 to t.config.group_size - 1 do
+               add_free_leaf t (group_leaf t p.Pptr.off i)
+             done;
+             scan (group_next t p.Pptr.off)
+           end
+         in
+         scan (read_group_head t);
+         let l = get_leaf t in
+         write_head t (pptr_of t l)
+       end
+       else
+         Pmem.Palloc.alloc (alloc t)
+           ~into:(Pmem.Pptr.Loc.make (region t) (t.meta + meta_head))
+           t.layout.Layout.bytes);
+    (* (Re-)zero the first leaf: idempotent, and a crash may have hit
+       between obtaining the leaf and zeroing it. *)
+    Layout.zero_leaf (region t) ~leaf:(read_head t).Pptr.off t.layout;
+    write_meta_word t meta_status 1
+
+  let flags_of cfg =
+    (if cfg.fingerprints then 1 else 0)
+    lor (if cfg.split_arrays then 2 else 0)
+    lor (if cfg.use_groups then 4 else 0)
+
+  let config_of_meta region meta base_cfg =
+    let w off = Int64.to_int (Region.read_int64 region (meta + off)) in
+    let flags = w meta_flags in
+    { base_cfg with
+      m = w meta_m;
+      value_bytes = w meta_value_bytes;
+      fingerprints = flags land 1 <> 0;
+      split_arrays = flags land 2 <> 0;
+      use_groups = flags land 4 <> 0;
+      n_split_logs = w meta_n_split;
+      n_delete_logs = w meta_n_delete;
+      group_size = w meta_group_size;
+    }
+
+  (** Create a fresh tree in [alloc]'s region.  The tree descriptor is
+      anchored at the allocator root. *)
+  let create ?(config = fptree_config) alloc =
+    let region = Pmem.Palloc.region alloc in
+    if not (Pptr.is_null (Pmem.Palloc.root alloc)) then
+      failwith "Tree.create: region already holds a tree (use recover)";
+    ignore (layout_of_config config ~key_cell_bytes:K.cell_bytes); (* validate *)
+    Pmem.Palloc.alloc alloc ~into:(Pmem.Palloc.root_loc alloc) (meta_bytes config);
+    let meta = (Pmem.Palloc.root alloc).Pptr.off in
+    Region.fill region meta (meta_bytes config) '\000';
+    Region.persist region meta (meta_bytes config);
+    let ctx = { Keys.region; alloc } in
+    let t = build_volatile ctx config meta in
+    write_meta_word t meta_m config.m;
+    write_meta_word t meta_value_bytes config.value_bytes;
+    write_meta_word t meta_key_kind K.kind;
+    write_meta_word t meta_flags (flags_of config);
+    write_meta_word t meta_n_split config.n_split_logs;
+    write_meta_word t meta_n_delete config.n_delete_logs;
+    write_meta_word t meta_group_size config.group_size;
+    complete_init t;
+    let first = (read_head t).Pptr.off in
+    t.inner <-
+      Inner.create ~fanout:(config.inner_keys + 1) ~dummy_key:K.dummy
+        (Inner.leaf_ref first);
+    t
+
+  (* Rebuild the volatile side from the persistent leaves: Algorithm 9
+     (and the leak audit of Algorithm 17 for var keys). *)
+  let rebuild_volatile t =
+    (* Walk the leaf list: discriminators, leak audit, lock resets. *)
+    let leaves = ref [] in
+    let in_list = Hashtbl.create 1024 in
+    iter_leaves t (fun leaf ->
+        Hashtbl.replace in_list leaf ();
+        Region.write_u8 (region t) (leaf + t.layout.Layout.lock_off) 0;
+        let bm = leaf_bitmap t leaf in
+        let max_key = ref None in
+        for s = 0 to t.layout.Layout.m - 1 do
+          let cell = key_cell t leaf s in
+          if bm land (1 lsl s) <> 0 then begin
+            let k = read_key t leaf s in
+            match !max_key with
+            | None -> max_key := Some k
+            | Some mk -> if K.compare k mk > 0 then max_key := Some k
+          end
+          else
+            (* Leak audit for out-of-line keys (Algorithm 17). *)
+            match K.cell_ref t.ctx ~off:cell with
+            | None | Some { Pptr.region_id = 0; _ } -> ()
+            | Some p ->
+              let duplicate = ref false in
+              for s' = 0 to t.layout.Layout.m - 1 do
+                if bm land (1 lsl s') <> 0 then
+                  match K.cell_ref t.ctx ~off:(key_cell t leaf s') with
+                  | Some p' when Pptr.equal p p' -> duplicate := true
+                  | _ -> ()
+              done;
+              if !duplicate then K.reset_ref t.ctx ~off:cell
+              else K.dealloc t.ctx ~off:cell
+        done;
+        match !max_key with
+        | Some mk -> leaves := (mk, Inner.leaf_ref leaf) :: !leaves
+        | None -> leaves := (K.dummy, Inner.leaf_ref leaf) :: !leaves);
+    let arr = Array.of_list (List.rev !leaves) in
+    t.inner <-
+      Inner.rebuild ~fanout:(t.config.inner_keys + 1) ~dummy_key:K.dummy arr;
+    (* Rebuild the volatile free-leaf pool from the group list. *)
+    if t.config.use_groups then begin
+      t.free_leaves <- [];
+      Hashtbl.reset t.leaf_group;
+      Hashtbl.reset t.group_free;
+      let rec scan p =
+        if not (Pptr.is_null p) then begin
+          let g = p.Pptr.off in
+          register_group t g;
+          for i = 0 to t.config.group_size - 1 do
+            let l = group_leaf t g i in
+            if not (Hashtbl.mem in_list l) then add_free_leaf t l
+          done;
+          scan (group_next t g)
+        end
+      in
+      scan (read_group_head t)
+    end
+
+  (** Re-open the tree persisted in [alloc]'s region after a restart:
+      replay micro-logs, audit leaks, rebuild DRAM state (Algorithm 9). *)
+  let recover ?(config = fptree_config) alloc =
+    let region = Pmem.Palloc.region alloc in
+    let rootp = Pmem.Palloc.root alloc in
+    if Pptr.is_null rootp then failwith "Tree.recover: no tree in region";
+    let meta = rootp.Pptr.off in
+    let initialized =
+      Int64.to_int (Region.read_int64 region (meta + meta_status)) = 1
+    in
+    (* If creation never completed, the persisted config words may be
+       missing: trust the caller's config and (re)write them. *)
+    let cfg = if initialized then config_of_meta region meta config else config in
+    if initialized then begin
+      let kind = Int64.to_int (Region.read_int64 region (meta + meta_key_kind)) in
+      if kind <> K.kind then failwith "Tree.recover: key kind mismatch"
+    end;
+    let ctx = { Keys.region; alloc } in
+    let t = build_volatile ctx cfg meta in
+    if not initialized then begin
+      write_meta_word t meta_m cfg.m;
+      write_meta_word t meta_value_bytes cfg.value_bytes;
+      write_meta_word t meta_key_kind K.kind;
+      write_meta_word t meta_flags (flags_of cfg);
+      write_meta_word t meta_n_split cfg.n_split_logs;
+      write_meta_word t meta_n_delete cfg.n_delete_logs;
+      write_meta_word t meta_group_size cfg.group_size;
+      complete_init t
+    end
+    else begin
+      recover_getleaf t;
+      recover_freeleaf t;
+      Microlog.Pool.iter (recover_split t) t.split_logs;
+      Microlog.Pool.iter (recover_delete t) t.delete_logs
+    end;
+    rebuild_volatile t;
+    t
+
+  (** Offsets of every allocated block the tree can account for
+      (descriptor, leaves or groups, key blocks): input to the
+      allocator leak audit. *)
+  let reachable_blocks t =
+    let acc = ref [ t.meta ] in
+    if t.config.use_groups then begin
+      let rec scan p =
+        if not (Pptr.is_null p) then begin
+          acc := p.Pptr.off :: !acc;
+          scan (group_next t p.Pptr.off)
+        end
+      in
+      scan (read_group_head t)
+    end
+    else iter_leaves t (fun leaf -> acc := leaf :: !acc);
+    if not K.inline then
+      iter_leaves t (fun leaf ->
+          let bm = leaf_bitmap t leaf in
+          for s = 0 to t.layout.Layout.m - 1 do
+            if bm land (1 lsl s) <> 0 then
+              match K.cell_ref t.ctx ~off:(key_cell t leaf s) with
+              | Some p when not (Pptr.is_null p) -> acc := p.Pptr.off :: !acc
+              | _ -> ()
+          done);
+    !acc
+
+  (** Structural invariant check (tests): leaves are in strictly
+      increasing key order along the linked list, every key routes to
+      its leaf through the inner nodes, and fingerprints match. *)
+  let check_invariants t =
+    let prev_max = ref None in
+    iter_leaves t (fun leaf ->
+        let bm = leaf_bitmap t leaf in
+        let keys = ref [] in
+        for s = 0 to t.layout.Layout.m - 1 do
+          if bm land (1 lsl s) <> 0 then begin
+            let k = read_key t leaf s in
+            keys := k :: !keys;
+            if t.layout.Layout.fingerprints then begin
+              let fp = Layout.read_fp (region t) ~leaf t.layout s in
+              if fp <> K.fingerprint k then failwith "invariant: bad fingerprint"
+            end;
+            let routed = Inner.find_leaf K.compare t.inner.Inner.root k in
+            if routed.Inner.off <> leaf then
+              failwith "invariant: inner nodes route key to wrong leaf"
+          end
+        done;
+        (match (!prev_max, !keys) with
+        | Some pm, _ :: _ ->
+          let mn = List.fold_left (fun a k -> if K.compare k a < 0 then k else a)
+              (List.hd !keys) !keys in
+          if K.compare pm mn >= 0 then
+            failwith "invariant: leaf list not in key order"
+        | _ -> ());
+        match !keys with
+        | [] -> ()
+        | ks ->
+          let mx = List.fold_left (fun a k -> if K.compare k a > 0 then k else a)
+              (List.hd ks) ks in
+          prev_max := Some mx)
+end

@@ -1,0 +1,30 @@
+(** Uniform interface implemented by every tree in the repository
+    (FPTree, PTree, NV-Tree, wBTree, STXTree), so that benchmarks and
+    integrations are tree-agnostic.
+
+    Values are 63-bit integers (the paper uses 8-byte integer values);
+    payload-size experiments pad the persisted value footprint via each
+    tree's configuration. *)
+
+module type S = sig
+  type t
+  type key
+
+  val name : string
+
+  val insert : t -> key -> int -> bool
+  (** [insert t k v] adds the pair; [false] if [k] was already present
+      (unique-key tree, the pair is unchanged). *)
+
+  val find : t -> key -> int option
+  val update : t -> key -> int -> bool
+  val delete : t -> key -> bool
+  val range : t -> lo:key -> hi:key -> (key * int) list
+  val count : t -> int
+
+  val dram_bytes : t -> int
+  val scm_bytes : t -> int
+end
+
+module type FIXED = S with type key = int
+module type VAR = S with type key = string

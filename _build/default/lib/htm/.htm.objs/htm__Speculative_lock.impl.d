@@ -1,0 +1,1 @@
+lib/htm/speculative_lock.ml: Atomic Domain Fun Mutex

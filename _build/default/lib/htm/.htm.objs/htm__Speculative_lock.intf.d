@@ -1,0 +1,1 @@
+lib/htm/speculative_lock.mli:

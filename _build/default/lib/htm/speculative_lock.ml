@@ -1,0 +1,131 @@
+(** Software emulation of HTM lock elision (Intel TSX speculative
+    spin mutex), used by Selective Concurrency (Section 4.4).
+
+    Hardware TSX runs a critical section as an optimistic transaction:
+    the elided lock is added to the read set, conflicts abort the
+    transaction, and after a retry threshold the global lock is taken
+    for real.  The OCaml runtime has no HTM, so we emulate the same
+    semantics with a sequence lock:
+
+    - the version word is even when the structure is stable and odd
+      while a writer is inside;
+    - an optimistic reader snapshots an even version, runs, and
+      validates that the version did not move — a moved version is a
+      conflict abort, exactly like a TSX read-set invalidation;
+    - a writer (or a reader that exhausted its retries — the fallback
+      path) takes the real mutex; writers additionally bump the version
+      to odd/even around their critical section so that concurrent
+      optimistic readers abort.
+
+    This preserves the property the FPTree design depends on: read-only
+    traversals of the DRAM part run lock-free and scale, while
+    persistence primitives (flushes) are kept outside the speculative
+    region because on real hardware they would abort the transaction. *)
+
+type t = {
+  version : int Atomic.t;
+  fallback : Mutex.t;
+  retry_threshold : int;
+  (* statistics (monotone, approximate is fine) *)
+  aborts : int Atomic.t;
+  conflicts : int Atomic.t;
+  fallbacks : int Atomic.t;
+}
+
+let create ?(retry_threshold = 8) () =
+  {
+    version = Atomic.make 0;
+    fallback = Mutex.create ();
+    retry_threshold;
+    aborts = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+  }
+
+type 'a outcome = Commit of 'a | Abort
+(** What the transaction body decides: [Abort] is an explicit XABORT
+    (e.g. the target leaf is locked by another thread) and makes the
+    whole transaction retry. *)
+
+let cpu_relax () = Domain.cpu_relax ()
+
+(** Run [f] as a TSX-style transaction.  [f] must be free of side
+    effects on shared transient state (it may CAS leaf locks: a
+    successful CAS followed by a failed validation is undone by the
+    caller via [on_rollback]).  After [retry_threshold] aborts the
+    fallback mutex is taken and [f] runs to a [Commit] under it. *)
+let with_txn ?(on_rollback = fun _ -> ()) t f =
+  let rec optimistic attempt =
+    if attempt >= t.retry_threshold then fallback ()
+    else begin
+      let v = Atomic.get t.version in
+      if v land 1 = 1 then begin
+        (* A writer is inside: the elided lock is busy. *)
+        Atomic.incr t.aborts;
+        cpu_relax ();
+        optimistic (attempt + 1)
+      end
+      else
+        let result =
+          (* Exceptions during speculation may be artifacts of racing
+             with a writer; only trust them if the version still
+             validates. *)
+          match f () with
+          | r -> Ok r
+          | exception e -> Error e
+        in
+        if Atomic.get t.version <> v then begin
+          (match result with Ok (Commit x) -> on_rollback x | _ -> ());
+          Atomic.incr t.conflicts;
+          Atomic.incr t.aborts;
+          cpu_relax ();
+          optimistic (attempt + 1)
+        end
+        else
+          match result with
+          | Ok (Commit x) -> x
+          | Ok Abort ->
+            Atomic.incr t.aborts;
+            cpu_relax ();
+            optimistic (attempt + 1)
+          | Error e -> raise e
+    end
+  and fallback () =
+    (* Like the paper's Algorithm 1 under the global lock: an explicit
+       abort releases the lock and the enclosing while-loop reacquires
+       it, so a thread holding a leaf lock can still enter its second
+       (structure-updating) critical section — no deadlock. *)
+    Atomic.incr t.fallbacks;
+    Mutex.lock t.fallback;
+    let r = Fun.protect ~finally:(fun () -> Mutex.unlock t.fallback) f in
+    match r with
+    | Commit x -> x
+    | Abort ->
+      cpu_relax ();
+      fallback ()
+  in
+  optimistic 0
+
+(** Run [f] as a writing transaction.  Writers to the transient
+    structure always serialize on the mutex and invalidate concurrent
+    optimistic readers via the version word.  (On real TSX small
+    writers could also commit speculatively; serializing them is the
+    fallback behaviour and only affects scalability of structure
+    modifications, i.e. splits.) *)
+let with_write t f =
+  Mutex.lock t.fallback;
+  Atomic.incr t.version;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.incr t.version;
+      Mutex.unlock t.fallback)
+    f
+
+type stats = { aborts : int; conflicts : int; fallbacks : int }
+
+let stats (t : t) =
+  {
+    aborts = Atomic.get t.aborts;
+    conflicts = Atomic.get t.conflicts;
+    fallbacks = Atomic.get t.fallbacks;
+  }

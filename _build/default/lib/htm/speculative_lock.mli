@@ -1,0 +1,37 @@
+(** Software emulation of HTM lock elision (Intel TSX speculative spin
+    mutex), the substrate of Selective Concurrency (Section 4.4).
+
+    Semantics: optimistic readers run lock-free and validate a version
+    word (a moved version is a conflict abort, like a TSX read-set
+    invalidation); after [retry_threshold] aborts the global lock is
+    taken for real — and, as in the paper's Algorithm 1, an explicit
+    abort under the fallback releases the lock before retrying.
+    Writers always serialize and bump the version to odd/even around
+    their critical section. *)
+
+type t
+
+val create : ?retry_threshold:int -> unit -> t
+
+type 'a outcome =
+  | Commit of 'a
+  | Abort
+      (** Explicit XABORT — e.g. the target leaf is locked by another
+          thread; the transaction retries. *)
+
+(** Run [f] as a TSX-style transaction.  [f] must not mutate shared
+    transient state except through CAS operations that [on_rollback]
+    can undo: it is called with the committed value when a successful
+    body fails validation.  Exceptions raised by [f] propagate only if
+    the version still validates (otherwise they are treated as racy
+    artifacts and the transaction retries). *)
+val with_txn : ?on_rollback:('a -> unit) -> t -> (unit -> 'a outcome) -> 'a
+
+(** Run [f] as a writing transaction: mutual exclusion against other
+    writers and fallback holders, and invalidation of all concurrent
+    optimistic readers. *)
+val with_write : t -> (unit -> 'a) -> 'a
+
+type stats = { aborts : int; conflicts : int; fallbacks : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/kvstore/cache.ml: Array Atomic Fun Mutex Tree_ops

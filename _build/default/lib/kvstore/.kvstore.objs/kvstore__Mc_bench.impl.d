@@ -1,0 +1,1 @@
+lib/kvstore/mc_bench.ml: Cache Printf Random Scm String Workloads

@@ -1,0 +1,1 @@
+lib/kvstore/tree_ops.ml: Baselines Fptree Fun Hashtbl Mutex

@@ -1,0 +1,80 @@
+(** A memcached-style key-value cache whose internal index is one of
+    the evaluated trees (Section 6.4, memcached experiments).
+
+    Like the paper's modified memcached: the hash table is replaced by
+    a tree, the full string key is stored in the index (not its hash,
+    to avoid collisions), and the bucket-lock scheme is replaced by
+    either the tree's own concurrency control (concurrent trees) or a
+    global lock (single-threaded trees).  Items (the values) stay in a
+    DRAM item store, as in memcached. *)
+
+type t = {
+  index : Tree_ops.t;
+  items : string array Atomic.t; (* grow-only item store *)
+  next_item : int Atomic.t;
+  grow_lock : Mutex.t;
+  global_lock : Mutex.t option; (* Some for non-concurrent indexes *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create index =
+  {
+    index;
+    items = Atomic.make (Array.make 4096 "");
+    next_item = Atomic.make 0;
+    grow_lock = Mutex.create ();
+    global_lock = (if index.Tree_ops.concurrent then None else Some (Mutex.create ()));
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let with_global t f =
+  match t.global_lock with
+  | None -> f ()
+  | Some m ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let store_item t value =
+  let id = Atomic.fetch_and_add t.next_item 1 in
+  let rec place () =
+    let arr = Atomic.get t.items in
+    if id < Array.length arr then arr.(id) <- value
+    else begin
+      Mutex.lock t.grow_lock;
+      let arr = Atomic.get t.items in
+      (if id >= Array.length arr then begin
+         let bigger = Array.make (max (Array.length arr * 2) (id + 1)) "" in
+         Array.blit arr 0 bigger 0 (Array.length arr);
+         Atomic.set t.items bigger
+       end);
+      Mutex.unlock t.grow_lock;
+      place ()
+    end
+  in
+  place ();
+  id
+
+(** SET: insert or overwrite. *)
+let set t key value =
+  let id = store_item t value in
+  with_global t (fun () ->
+      if not (t.index.Tree_ops.insert key id) then
+        ignore (t.index.Tree_ops.update key id))
+
+(** GET. *)
+let get t key =
+  let r = with_global t (fun () -> t.index.Tree_ops.find key) in
+  match r with
+  | Some id ->
+    Atomic.incr t.hits;
+    Some (Atomic.get t.items).(id)
+  | None ->
+    Atomic.incr t.misses;
+    None
+
+let delete t key = with_global t (fun () -> t.index.Tree_ops.delete key)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,112 @@
+(** First-class handles over the variable-key trees, so the cache and
+    the benchmarks can swap the index implementation at run time (the
+    paper's memcached experiment replaces the internal hash table by
+    each evaluated tree). *)
+
+type t = {
+  name : string;
+  insert : string -> int -> bool;
+  update : string -> int -> bool;
+  find : string -> int option;
+  delete : string -> bool;
+  concurrent : bool;
+      (** [true] when the tree has its own concurrency scheme;
+          otherwise the cache wraps operations in a global lock,
+          mirroring how the paper drives single-threaded trees. *)
+}
+
+let of_fptree_concurrent (tr : Fptree.Var.t) =
+  {
+    name = "FPTreeC";
+    insert = Fptree.Var.insert tr;
+    update = Fptree.Var.update tr;
+    find = Fptree.Var.find tr;
+    delete = Fptree.Var.delete tr;
+    concurrent = true;
+  }
+
+let of_fptree_single (tr : Fptree.Var.t) =
+  {
+    name = "FPTree";
+    insert = Fptree.Var.insert tr;
+    update = Fptree.Var.update tr;
+    find = Fptree.Var.find tr;
+    delete = Fptree.Var.delete tr;
+    concurrent = false;
+  }
+
+let of_ptree (tr : Fptree.Ptree.Var.t) =
+  {
+    name = "PTree";
+    insert = Fptree.Ptree.Var.insert tr;
+    update = Fptree.Ptree.Var.update tr;
+    find = Fptree.Ptree.Var.find tr;
+    delete = Fptree.Ptree.Var.delete tr;
+    concurrent = false;
+  }
+
+let of_nvtree (tr : Baselines.Nvtree.Var.t) =
+  {
+    name = "NV-TreeC";
+    insert = Baselines.Nvtree.Var.insert tr;
+    update = Baselines.Nvtree.Var.update tr;
+    find = Baselines.Nvtree.Var.find tr;
+    delete = Baselines.Nvtree.Var.delete tr;
+    concurrent = true;
+  }
+
+let of_wbtree (tr : Baselines.Wbtree.Var.t) =
+  {
+    name = "wBTree";
+    insert = Baselines.Wbtree.Var.insert tr;
+    update = Baselines.Wbtree.Var.update tr;
+    find = Baselines.Wbtree.Var.find tr;
+    delete = Baselines.Wbtree.Var.delete tr;
+    concurrent = false;
+  }
+
+let of_stxtree (tr : Baselines.Stxtree.Var.t) =
+  {
+    name = "STXTree";
+    insert = Baselines.Stxtree.Var.insert tr;
+    update = Baselines.Stxtree.Var.update tr;
+    find = Baselines.Stxtree.Var.find tr;
+    delete = Baselines.Stxtree.Var.delete tr;
+    concurrent = false;
+  }
+
+(** The vanilla-memcached stand-in: a plain DRAM hash table behind a
+    bucket-style lock. *)
+let of_hashmap () =
+  let h : (string, int) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+  let m = Mutex.create () in
+  let with_m f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f in
+  {
+    name = "HashMap";
+    insert =
+      (fun k v ->
+        with_m (fun () ->
+            if Hashtbl.mem h k then false
+            else begin
+              Hashtbl.replace h k v;
+              true
+            end));
+    update =
+      (fun k v ->
+        with_m (fun () ->
+            if Hashtbl.mem h k then begin
+              Hashtbl.replace h k v;
+              true
+            end
+            else false));
+    find = (fun k -> with_m (fun () -> Hashtbl.find_opt h k));
+    delete =
+      (fun k ->
+        with_m (fun () ->
+            if Hashtbl.mem h k then begin
+              Hashtbl.remove h k;
+              true
+            end
+            else false));
+    concurrent = true;
+  }

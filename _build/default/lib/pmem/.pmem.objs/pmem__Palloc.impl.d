@@ -1,0 +1,1 @@
+lib/pmem/palloc.ml: Fun Hashtbl Int64 List Mutex Pptr Printf Scm

@@ -1,0 +1,1 @@
+lib/pmem/palloc.mli: Pptr Scm

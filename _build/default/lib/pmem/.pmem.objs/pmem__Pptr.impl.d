@@ -1,0 +1,1 @@
+lib/pmem/pptr.ml: Format Int64 Scm

@@ -1,0 +1,301 @@
+(** Crash-safe persistent allocator (Section 2, "Memory leaks").
+
+    The interface is the paper's leak-prevention contract: callers never
+    receive a raw address.  Instead they pass the location of a
+    persistent pointer *owned by the persistent data structure*; the
+    allocator persistently writes the address of the new block into that
+    location ([alloc]) or persistently nulls it ([free]).  A redo/undo
+    micro-log inside the region makes both operations exactly-once
+    across crashes: on recovery the allocator completes or rolls back
+    the in-flight operation, so a block is allocated if and only if the
+    owning pointer references it.
+
+    Region layout:
+    {v
+      0   magic
+      8   bump pointer
+      16  root persistent pointer (application anchor)
+      64  operation log {state; dest_region; dest_off; block; units}
+      128 segregated free-list heads, one per size class (64B units)
+      heap_start ...                                              bump
+    v}
+
+    Blocks are a 64-byte header line ([units<<1|allocated] and free-list
+    next) followed by a 64-byte-aligned payload, so leaf payloads start
+    on a cache-line boundary as the FPTree layout requires. *)
+
+module Region = Scm.Region
+
+let unit_size = 64
+let max_units = 4096 (* single allocation capped at 256 KiB *)
+
+let off_magic = 0
+let off_bump = 8
+let off_root = 16
+let off_log_state = 64
+let off_log_dest_region = 72
+let off_log_dest_off = 80
+let off_log_block = 88
+let off_log_units = 96
+let off_heads = 128
+let heap_start = (off_heads + (max_units + 1) * 8 + 63) / 64 * 64
+
+let magic = 0x4650414C4C4F4331L (* "FPALLOC1" *)
+
+let log_idle = 0L
+let log_alloc = 1L
+let log_free = 2L
+
+type t = {
+  region : Region.t;
+  mutex : Mutex.t;
+  (* volatile op counters *)
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let region t = t.region
+
+(* ---- small helpers over the header ---- *)
+
+let read_bump t = Int64.to_int (Region.read_int64 t.region off_bump)
+
+let write_bump t v =
+  Region.write_int64_atomic t.region off_bump (Int64.of_int v);
+  Region.persist t.region off_bump 8
+
+let head_off units = off_heads + (units * 8)
+let read_head t units = Int64.to_int (Region.read_int64 t.region (head_off units))
+
+let write_head t units v =
+  Region.write_int64_atomic t.region (head_off units) (Int64.of_int v);
+  Region.persist t.region (head_off units) 8
+
+let block_header t block = Int64.to_int (Region.read_int64 t.region block)
+let block_units header = header lsr 1
+let block_allocated header = header land 1 = 1
+
+let write_block_header t block ~units ~allocated =
+  let w = (units lsl 1) lor (if allocated then 1 else 0) in
+  Region.write_int64_atomic t.region block (Int64.of_int w);
+  Region.persist t.region block 8
+
+let block_next t block = Int64.to_int (Region.read_int64 t.region (block + 8))
+
+let write_block_next t block v =
+  Region.write_int64_atomic t.region (block + 8) (Int64.of_int v);
+  Region.persist t.region (block + 8) 8
+
+let payload_of_block block = block + unit_size
+let block_of_payload payload = payload - unit_size
+let gross_span units = unit_size + (units * unit_size)
+
+(* ---- operation log ---- *)
+
+(* The log is published in two persists: fields first, then the state
+   word.  A crash between them leaves state = idle, so half-written
+   fields are ignored by recovery. *)
+let log_publish t ~state ~dest ~block ~units =
+  let r = t.region in
+  Region.write_int64 r off_log_dest_region
+    (Int64.of_int (Scm.Region.id (dest : Pptr.Loc.loc).Pptr.Loc.region));
+  Region.write_int64 r off_log_dest_off (Int64.of_int dest.Pptr.Loc.off);
+  Region.write_int64 r off_log_block (Int64.of_int block);
+  Region.write_int64 r off_log_units (Int64.of_int units);
+  Region.persist r off_log_dest_region 32;
+  Region.write_int64_atomic r off_log_state state;
+  Region.persist r off_log_state 8
+
+let log_clear t =
+  Region.write_int64_atomic t.region off_log_state log_idle;
+  Region.persist t.region off_log_state 8
+
+(* ---- creation / opening ---- *)
+
+let format region =
+  Region.write_int64 region off_bump (Int64.of_int heap_start);
+  Pptr.write region off_root Pptr.null;
+  Region.write_int64 region off_log_state log_idle;
+  for u = 0 to max_units do
+    Region.write_int64 region (head_off u) 0L
+  done;
+  Region.persist region 0 heap_start;
+  (* Magic last: a region is an allocator arena only once fully formatted. *)
+  Region.write_int64_atomic region off_magic magic;
+  Region.persist region off_magic 8
+
+let create ?(size = 64 * 1024 * 1024) () =
+  let region = Scm.Registry.create ~size in
+  format region;
+  { region; mutex = Mutex.create (); allocs = 0; frees = 0 }
+
+exception Out_of_scm
+
+(* ---- allocation ---- *)
+
+let alloc t ~(into : Pptr.Loc.loc) size =
+  if size <= 0 then invalid_arg "Palloc.alloc: size must be positive";
+  let units = (size + unit_size - 1) / unit_size in
+  if units > max_units then invalid_arg "Palloc.alloc: size too large";
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let r = t.region in
+  let from_free_list = read_head t units <> 0 in
+  let block =
+    if from_free_list then read_head t units
+    else begin
+      let bump = read_bump t in
+      if bump + gross_span units > Region.size r then raise Out_of_scm;
+      bump
+    end
+  in
+  (* 1. publish intent *)
+  log_publish t ~state:log_alloc ~dest:into ~block ~units;
+  (* 2. detach the block from its source *)
+  if from_free_list then write_head t units (block_next t block)
+  else write_bump t (block + gross_span units);
+  (* 3. mark allocated *)
+  write_block_header t block ~units ~allocated:true;
+  (* 4. hand the block to its owner, persistently *)
+  Pptr.Loc.write_persist into
+    (Pptr.of_region r ~off:(payload_of_block block));
+  (* 5. retire the log *)
+  log_clear t;
+  t.allocs <- t.allocs + 1
+
+let free t ~(from : Pptr.Loc.loc) =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let r = t.region in
+  let p = Pptr.Loc.read from in
+  if Pptr.is_null p then invalid_arg "Palloc.free: pointer already null";
+  if p.Pptr.region_id <> Scm.Region.id r then
+    invalid_arg "Palloc.free: pointer does not belong to this arena";
+  let block = block_of_payload p.Pptr.off in
+  let header = block_header t block in
+  if not (block_allocated header) then invalid_arg "Palloc.free: double free";
+  let units = block_units header in
+  (* 1. publish intent *)
+  log_publish t ~state:log_free ~dest:from ~block ~units;
+  (* 2. persistently null the owner's pointer: the free is now visible *)
+  Pptr.Loc.write_persist from Pptr.null;
+  (* 3. return the block to its free list *)
+  write_block_header t block ~units ~allocated:false;
+  write_block_next t block (read_head t units);
+  write_head t units block;
+  (* 4. retire the log *)
+  log_clear t;
+  t.frees <- t.frees + 1
+
+(* ---- recovery ---- *)
+
+let recover_alloc t =
+  let r = t.region in
+  let block = Int64.to_int (Region.read_int64 r off_log_block) in
+  let units = Int64.to_int (Region.read_int64 r off_log_units) in
+  let dest_region =
+    Scm.Registry.find (Int64.to_int (Region.read_int64 r off_log_dest_region))
+  in
+  let dest_off = Int64.to_int (Region.read_int64 r off_log_dest_off) in
+  let header = block_header t block in
+  if block_allocated header && block_units header = units then begin
+    (* Crashed at/after step 3: complete the handover. *)
+    Pptr.write_persist dest_region dest_off
+      (Pptr.of_region r ~off:(payload_of_block block));
+    log_clear t
+  end
+  else if read_head t units = block then
+    (* Step 2 not reached (free-list path): nothing changed; roll back. *)
+    log_clear t
+  else if read_bump t <= block then
+    (* Step 2 not reached (bump path): nothing changed; roll back. *)
+    log_clear t
+  else begin
+    (* Source was detached but the block not yet marked: redo 3..5. *)
+    write_block_header t block ~units ~allocated:true;
+    Pptr.write_persist dest_region dest_off
+      (Pptr.of_region r ~off:(payload_of_block block));
+    log_clear t
+  end
+
+let recover_free t =
+  let r = t.region in
+  let block = Int64.to_int (Region.read_int64 r off_log_block) in
+  let units = Int64.to_int (Region.read_int64 r off_log_units) in
+  let dest_region =
+    Scm.Registry.find (Int64.to_int (Region.read_int64 r off_log_dest_region))
+  in
+  let dest_off = Int64.to_int (Region.read_int64 r off_log_dest_off) in
+  (* Redo from step 2; every sub-step is idempotent. *)
+  Pptr.write_persist dest_region dest_off Pptr.null;
+  let header = block_header t block in
+  if block_allocated header then begin
+    write_block_header t block ~units ~allocated:false;
+    write_block_next t block (read_head t units);
+    write_head t units block
+  end
+  else if read_head t units <> block then begin
+    write_block_next t block (read_head t units);
+    write_head t units block
+  end;
+  log_clear t
+
+(** Re-attach an allocator to a region after a restart, completing or
+    rolling back any in-flight operation. *)
+let of_region region =
+  if Region.read_int64 region off_magic <> magic then
+    failwith "Palloc.of_region: not an allocator arena";
+  let t = { region; mutex = Mutex.create (); allocs = 0; frees = 0 } in
+  (match Region.read_int64 region off_log_state with
+  | s when s = log_idle -> ()
+  | s when s = log_alloc -> recover_alloc t
+  | s when s = log_free -> recover_free t
+  | s -> failwith (Printf.sprintf "Palloc: corrupt log state %Ld" s));
+  t
+
+(* ---- application root anchor ---- *)
+
+let root t = Pptr.read t.region off_root
+
+(** Persistently set the application root pointer.  Meant for one-time
+    initialization (the 16-byte store is not atomic by itself). *)
+let set_root t p = Pptr.write_persist t.region off_root p
+
+let root_loc t = Pptr.Loc.make t.region off_root
+
+(* ---- introspection: heap walk, leak audit, memory accounting ---- *)
+
+(** Iterate all blocks ever carved from the heap, in address order. *)
+let iter_blocks t f =
+  let bump = read_bump t in
+  let off = ref heap_start in
+  while !off < bump do
+    let header = block_header t !off in
+    let units = block_units header in
+    if units = 0 || units > max_units then
+      failwith "Palloc.iter_blocks: corrupt block header";
+    f ~payload:(payload_of_block !off) ~bytes:(units * unit_size)
+      ~allocated:(block_allocated header);
+    off := !off + gross_span units
+  done
+
+(** Gross SCM bytes currently held by allocated blocks (headers included). *)
+let live_bytes t =
+  let total = ref 0 in
+  iter_blocks t (fun ~payload:_ ~bytes ~allocated ->
+      if allocated then total := !total + bytes + unit_size);
+  !total
+
+(** Payload offsets of allocated blocks not present in [reachable]:
+    persistent memory leaks. *)
+let leaked_blocks t ~reachable =
+  let set = Hashtbl.create (List.length reachable * 2 + 16) in
+  List.iter (fun off -> Hashtbl.replace set off ()) reachable;
+  let leaks = ref [] in
+  iter_blocks t (fun ~payload ~bytes:_ ~allocated ->
+      if allocated && not (Hashtbl.mem set payload) then
+        leaks := payload :: !leaks);
+  List.rev !leaks
+
+let alloc_count t = t.allocs
+let free_count t = t.frees

@@ -1,0 +1,63 @@
+(** Crash-safe persistent allocator (Section 2 of the paper,
+    "Memory leaks").
+
+    Callers never receive a raw address: {!alloc} persistently writes
+    the address of the new block into a persistent-pointer cell owned
+    by the calling data structure, and {!free} persistently nulls that
+    cell — the paper's leak-prevention contract.  An internal redo log
+    makes both operations exactly-once across crashes: after
+    {!of_region}, a block is allocated iff the owning pointer
+    references it. *)
+
+type t
+
+(** Create and format a fresh arena in a new region (registered in
+    {!Scm.Registry}). *)
+val create : ?size:int -> unit -> t
+
+(** Re-attach to an arena after a restart, completing or rolling back
+    any in-flight operation.
+    @raise Failure if the region is not a formatted arena. *)
+val of_region : Scm.Region.t -> t
+
+val region : t -> Scm.Region.t
+
+exception Out_of_scm
+
+(** [alloc t ~into size] carves a block of at least [size] bytes (the
+    payload is 64-byte aligned) and persistently publishes its address
+    into [into].  Thread-safe.
+    @raise Out_of_scm when the arena is exhausted.
+    @raise Invalid_argument on non-positive or oversized requests. *)
+val alloc : t -> into:Pptr.Loc.loc -> int -> unit
+
+(** [free t ~from] returns the block referenced by the pointer stored
+    at [from] to its free list and persistently nulls [from].
+    @raise Invalid_argument on null pointers, foreign pointers, or
+    double frees. *)
+val free : t -> from:Pptr.Loc.loc -> unit
+
+(** {1 Application root anchor} *)
+
+(** The well-known pointer cell applications use to find their data
+    after a restart. *)
+val root : t -> Pptr.t
+
+val set_root : t -> Pptr.t -> unit
+val root_loc : t -> Pptr.Loc.loc
+
+(** {1 Introspection} *)
+
+(** Iterate every block ever carved from the heap, in address order. *)
+val iter_blocks :
+  t -> (payload:int -> bytes:int -> allocated:bool -> unit) -> unit
+
+(** Gross SCM bytes currently held by allocated blocks. *)
+val live_bytes : t -> int
+
+(** Allocated blocks whose payload offset is not in [reachable]:
+    persistent memory leaks. *)
+val leaked_blocks : t -> reachable:int list -> int list
+
+val alloc_count : t -> int
+val free_count : t -> int

@@ -1,0 +1,80 @@
+(** Persistent pointers (Section 2, "Data recovery").
+
+    A persistent pointer is an 8-byte region (file) id plus an 8-byte
+    offset.  Unlike virtual addresses, it stays valid across restarts;
+    the registry converts it back to a (region, offset) pair. *)
+
+type t = { region_id : int; off : int }
+
+let size_bytes = 16
+
+let null = { region_id = 0; off = 0 }
+let is_null p = p.region_id = 0
+
+let make ~region_id ~off =
+  if region_id = 0 then invalid_arg "Pptr.make: region id 0 is reserved";
+  { region_id; off }
+
+let of_region r ~off = make ~region_id:(Scm.Region.id r) ~off
+
+let equal a b = a.region_id = b.region_id && a.off = b.off
+
+(** Dereference: volatile (region, offset) pair, valid for this process
+    lifetime only. *)
+let resolve p =
+  if is_null p then failwith "Pptr.resolve: null persistent pointer";
+  (Scm.Registry.find p.region_id, p.off)
+
+(* ---- storage in SCM: two consecutive little-endian int64 words ---- *)
+
+let read r off =
+  let region_id = Int64.to_int (Scm.Region.read_int64 r off) in
+  let o = Int64.to_int (Scm.Region.read_int64 r (off + 8)) in
+  { region_id; off = o }
+
+(** Store [p] at [off] (volatile until persisted).  A 16-byte store is
+    not p-atomic; callers needing atomicity must protect it with a
+    micro-log, exactly as the paper's algorithms do. *)
+let write r off p =
+  Scm.Region.write_int64 r off (Int64.of_int p.region_id);
+  Scm.Region.write_int64 r (off + 8) (Int64.of_int p.off)
+
+let write_persist r off p =
+  write r off p;
+  Scm.Region.persist r off size_bytes
+
+(** Crash-atomic publication of a 16-byte pointer: the offset word is
+    persisted before the region-id word, and a pointer is valid iff its
+    region id is non-zero — so a crash between the two persists reads
+    back as null, never as a torn pointer.  (The paper gets the same
+    effect from the in-order persistence of back-to-back stores to one
+    cache line; our simulator is adversarial about unflushed words, so
+    the ordering is made explicit.) *)
+let write_committed r off p =
+  Scm.Region.write_int64_atomic r (off + 8) (Int64.of_int p.off);
+  Scm.Region.persist r (off + 8) 8;
+  Scm.Region.write_int64_atomic r off (Int64.of_int p.region_id);
+  Scm.Region.persist r off 8
+
+(** Crash-atomic retraction: null the id word first. *)
+let reset_committed r off =
+  Scm.Region.write_int64_atomic r off 0L;
+  Scm.Region.persist r off 8;
+  Scm.Region.write_int64_atomic r (off + 8) 0L;
+  Scm.Region.persist r (off + 8) 8
+
+let pp ppf p =
+  if is_null p then Format.fprintf ppf "<null>"
+  else Format.fprintf ppf "<r%d:%#x>" p.region_id p.off
+
+(** The location of a persistent pointer embedded in a persistent data
+    structure: where the allocator persistently publishes results. *)
+module Loc = struct
+  type loc = { region : Scm.Region.t; off : int }
+
+  let make region off = { region; off }
+  let read l = read l.region l.off
+  let write l p = write l.region l.off p
+  let write_persist l p = write_persist l.region l.off p
+  let to_pptr l = of_region l.region ~off:l.off
+end

@@ -1,0 +1,56 @@
+(** Persistent pointers (Section 2 of the paper, "Data recovery").
+
+    An 8-byte region (file) id plus an 8-byte offset: unlike a virtual
+    address, a persistent pointer stays valid across restarts and is
+    resolved back to an open region through {!Scm.Registry}. *)
+
+type t = { region_id : int; off : int }
+
+(** Storage footprint in SCM: 16 bytes. *)
+val size_bytes : int
+
+val null : t
+val is_null : t -> bool
+
+(** @raise Invalid_argument on the reserved region id 0. *)
+val make : region_id:int -> off:int -> t
+
+val of_region : Scm.Region.t -> off:int -> t
+val equal : t -> t -> bool
+
+(** Dereference to a volatile (region, offset) pair, valid for this
+    process lifetime only.
+    @raise Failure on null or on a region that is not open. *)
+val resolve : t -> Scm.Region.t * int
+
+(** {1 Storage in SCM} *)
+
+val read : Scm.Region.t -> int -> t
+
+(** Plain 16-byte store — NOT p-atomic; callers needing crash atomicity
+    must protect it with a micro-log or use {!write_committed}. *)
+val write : Scm.Region.t -> int -> t -> unit
+
+val write_persist : Scm.Region.t -> int -> t -> unit
+
+(** Crash-atomic publication: the offset word is persisted before the
+    region-id word, and a pointer is valid iff its id word is non-zero,
+    so a crash in between reads back as null — never a torn pointer. *)
+val write_committed : Scm.Region.t -> int -> t -> unit
+
+(** Crash-atomic retraction (id word nulled first). *)
+val reset_committed : Scm.Region.t -> int -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** The location OF a persistent pointer embedded in a persistent data
+    structure — where the allocator publishes its results. *)
+module Loc : sig
+  type loc = { region : Scm.Region.t; off : int }
+
+  val make : Scm.Region.t -> int -> loc
+  val read : loc -> t
+  val write : loc -> t -> unit
+  val write_persist : loc -> t -> unit
+  val to_pptr : loc -> t
+end

@@ -1,0 +1,1 @@
+lib/scm/cacheline.mli:

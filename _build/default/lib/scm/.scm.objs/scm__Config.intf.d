@@ -1,0 +1,1 @@
+lib/scm/config.mli:

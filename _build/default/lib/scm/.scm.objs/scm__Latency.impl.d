@@ -1,0 +1,1 @@
+lib/scm/latency.ml: Config Lazy Sys Unix

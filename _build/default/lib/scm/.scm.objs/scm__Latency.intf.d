@@ -1,0 +1,1 @@
+lib/scm/latency.mli: Lazy

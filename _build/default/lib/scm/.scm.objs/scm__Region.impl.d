@@ -1,0 +1,1 @@
+lib/scm/region.ml: Array Bytes Cacheline Char Config Fun Hashtbl Latency List Printf Random Stats String

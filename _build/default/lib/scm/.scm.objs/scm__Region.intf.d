@@ -1,0 +1,1 @@
+lib/scm/region.mli: Config

@@ -1,0 +1,1 @@
+lib/scm/registry.ml: Hashtbl Printf Region

@@ -1,0 +1,1 @@
+lib/scm/stats.ml: Config Float Format

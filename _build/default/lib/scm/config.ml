@@ -1,0 +1,87 @@
+(** Global configuration of the SCM simulator.
+
+    The paper's evaluation platform exposes a single knob — the latency
+    of the emulated SCM region — plus the implicit semantics of the
+    volatility chain.  This module exposes the same knobs:
+
+    - latency model used to convert access counts into modeled time;
+    - crash-simulation mode (how unflushed words behave at a crash);
+    - crash injection (fail at the n-th persistence point), used by the
+      recovery property tests;
+    - optional busy-wait delay injection for end-to-end runs. *)
+
+(** Raised by [Region.persist] when a scheduled crash point is reached.
+    The persist that raises did NOT reach the persistence domain. *)
+exception Crash_injected
+
+type crash_mode =
+  | Revert_all_dirty
+      (** Worst case: every unflushed word loses its post-crash value. *)
+  | Keep_random_subset of int
+      (** Eviction-adversarial: each dirty word independently survives
+          with probability 1/2, drawn from the seeded generator.  Models
+          arbitrary cache evictions before the crash. *)
+
+type t = {
+  mutable scm_read_ns : float;      (** SCM load latency (paper: 90–650). *)
+  mutable scm_write_ns : float;     (** SCM store/flush latency. *)
+  mutable dram_read_ns : float;     (** Baseline DRAM latency (paper: 90). *)
+  mutable crash_tracking : bool;
+      (** Track dirty words for crash simulation.  Off for concurrent
+          benches (the tracking table is not synchronized). *)
+  mutable stats : bool;             (** Count line accesses. *)
+  mutable delay_injection : bool;
+      (** Busy-wait [scm_read_ns - dram_read_ns] on each simulated SCM
+          miss, so wall-clock time directly reflects the latency knob. *)
+  mutable crash_after_persists : int option;
+      (** [Some n]: the n-th subsequent persist raises {!Crash_injected}
+          (1-based; [Some 1] fails the very next persist). *)
+  mutable persist_count : int;
+}
+
+let default () = {
+  scm_read_ns = 90.;
+  scm_write_ns = 90.;
+  dram_read_ns = 90.;
+  crash_tracking = true;
+  stats = true;
+  delay_injection = false;
+  crash_after_persists = None;
+  persist_count = 0;
+}
+
+let current = default ()
+
+let reset () =
+  let d = default () in
+  current.scm_read_ns <- d.scm_read_ns;
+  current.scm_write_ns <- d.scm_write_ns;
+  current.dram_read_ns <- d.dram_read_ns;
+  current.crash_tracking <- d.crash_tracking;
+  current.stats <- d.stats;
+  current.delay_injection <- d.delay_injection;
+  current.crash_after_persists <- d.crash_after_persists;
+  current.persist_count <- d.persist_count
+
+let set_latency ?write_ns ~read_ns () =
+  current.scm_read_ns <- read_ns;
+  current.scm_write_ns <- (match write_ns with Some w -> w | None -> read_ns)
+
+(** Arm the crash injector: the [n]-th persist from now raises. *)
+let schedule_crash_after n =
+  current.persist_count <- 0;
+  current.crash_after_persists <- Some n
+
+let disarm_crash () = current.crash_after_persists <- None
+
+(** Called by [Region.persist]; raises {!Crash_injected} at the armed
+    persistence point. *)
+let on_persist () =
+  match current.crash_after_persists with
+  | None -> ()
+  | Some n ->
+    current.persist_count <- current.persist_count + 1;
+    if current.persist_count >= n then begin
+      current.crash_after_persists <- None;
+      raise Crash_injected
+    end

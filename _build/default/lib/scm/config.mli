@@ -1,0 +1,43 @@
+(** Global configuration of the SCM simulator: the latency model,
+    crash-simulation mode, crash-point injection, and the optional
+    busy-wait delay injection — the knobs of the paper's evaluation
+    platform. *)
+
+(** Raised by [Region.persist] when a scheduled crash point is reached;
+    the raising persist did NOT reach the persistence domain. *)
+exception Crash_injected
+
+type crash_mode =
+  | Revert_all_dirty
+      (** Worst case: every unflushed word loses its post-crash value. *)
+  | Keep_random_subset of int
+      (** Eviction-adversarial: each dirty word independently survives
+          with probability 1/2 (seeded). *)
+
+type t = {
+  mutable scm_read_ns : float;
+  mutable scm_write_ns : float;
+  mutable dram_read_ns : float;
+  mutable crash_tracking : bool;
+  mutable stats : bool;
+  mutable delay_injection : bool;
+  mutable crash_after_persists : int option;
+  mutable persist_count : int;
+}
+
+val default : unit -> t
+
+(** The live configuration, read by every simulator operation. *)
+val current : t
+
+val reset : unit -> unit
+val set_latency : ?write_ns:float -> read_ns:float -> unit -> unit
+
+(** Arm the crash injector: the [n]-th persist from now raises
+    {!Crash_injected} (1-based). *)
+val schedule_crash_after : int -> unit
+
+val disarm_crash : unit -> unit
+
+(** Called by [Region.persist] at each persistence point. *)
+val on_persist : unit -> unit

@@ -1,0 +1,43 @@
+(** Calibrated busy-wait used for optional latency injection.
+
+    When [Config.current.delay_injection] is set, every simulated SCM
+    cache miss spins for (scm latency - dram latency) nanoseconds, so
+    end-to-end wall-clock runs feel the latency knob directly, like the
+    paper's emulation platform.  The spin loop is calibrated once
+    against [Unix.gettimeofday]. *)
+
+let spins_per_ns =
+  lazy
+    (let calibrate () =
+       let iters = 50_000_000 in
+       let t0 = Unix.gettimeofday () in
+       let acc = ref 0 in
+       for i = 1 to iters do
+         acc := !acc lxor i
+       done;
+       let t1 = Unix.gettimeofday () in
+       ignore (Sys.opaque_identity !acc);
+       let ns = (t1 -. t0) *. 1e9 in
+       if ns <= 0. then 1.0 else float_of_int iters /. ns
+     in
+     calibrate ())
+
+let busy_wait_ns ns =
+  if ns > 0. then begin
+    let spins = int_of_float (ns *. Lazy.force spins_per_ns) in
+    let acc = ref 0 in
+    for i = 1 to spins do
+      acc := !acc lxor i
+    done;
+    ignore (Sys.opaque_identity !acc)
+  end
+
+(** Injected on each SCM read miss. *)
+let on_scm_read_miss () =
+  let c = Config.current in
+  if c.delay_injection then busy_wait_ns (c.scm_read_ns -. c.dram_read_ns)
+
+(** Injected on each SCM line write-back. *)
+let on_scm_write_back () =
+  let c = Config.current in
+  if c.delay_injection then busy_wait_ns (c.scm_write_ns -. c.dram_read_ns)

@@ -1,0 +1,271 @@
+(** A simulated persistent-memory region.
+
+    A region is a contiguous byte-addressable span of SCM, the analogue
+    of one mmap-ed PMFS/DAX file of the paper's platform.  Reads and
+    writes go through accessors that
+
+    - simulate a direct-mapped CPU cache to count SCM line misses
+      (the input of the latency model),
+    - track dirty (written-but-unflushed) 8-byte words so that a
+      simulated crash can revert exactly the data that a real power
+      failure would lose.
+
+    The volatile view (what the program reads back) and the persistent
+    image (what survives [crash]) therefore differ until [persist] is
+    called — which is precisely the programming hazard the FPTree's
+    algorithms are built around. *)
+
+type t = {
+  id : int;
+  buf : Bytes.t;
+  size : int;
+  (* Direct-mapped simulated cache: cache_tags.(line mod n) = line. *)
+  cache_tags : int array;
+  (* word index -> persisted value, for words written since last flush. *)
+  dirty : (int, int64) Hashtbl.t;
+}
+
+let cache_slots = 8192 (* 8192 x 64B = 512 KiB simulated cache *)
+
+let make ~id ~size =
+  if size <= 0 || size mod Cacheline.line_size <> 0 then
+    invalid_arg "Region.make: size must be a positive multiple of 64";
+  {
+    id;
+    buf = Bytes.make size '\000';
+    size;
+    cache_tags = Array.make cache_slots (-1);
+    dirty = Hashtbl.create 1024;
+  }
+
+let id t = t.id
+let size t = t.size
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg
+      (Printf.sprintf "Region: out-of-bounds access off=%d len=%d size=%d"
+         off len t.size)
+
+(* ---- simulated cache ---- *)
+
+let touch_lines t off len =
+  if Config.current.stats then begin
+    let first = Cacheline.line_of_offset off in
+    let last = Cacheline.line_of_offset (off + len - 1) in
+    for line = first to last do
+      let slot = line mod cache_slots in
+      if t.cache_tags.(slot) <> line then begin
+        t.cache_tags.(slot) <- line;
+        incr Stats.line_reads;
+        Latency.on_scm_read_miss ()
+      end
+    done
+  end
+
+(* ---- dirty-word tracking ---- *)
+
+let word_value t w = Bytes.get_int64_le t.buf (w * Cacheline.word_size)
+
+let mark_dirty t off len =
+  if Config.current.crash_tracking then begin
+    let first = Cacheline.word_of_offset off in
+    let last = Cacheline.word_of_offset (off + len - 1) in
+    for w = first to last do
+      if not (Hashtbl.mem t.dirty w) then
+        Hashtbl.add t.dirty w (word_value t w)
+    done
+  end
+
+let dirty_word_count t = Hashtbl.length t.dirty
+
+(* ---- reads ---- *)
+
+let read_u8 t off =
+  check t off 1;
+  touch_lines t off 1;
+  Char.code (Bytes.get t.buf off)
+
+let read_u16 t off =
+  check t off 2;
+  touch_lines t off 2;
+  Bytes.get_uint16_le t.buf off
+
+let read_int32 t off =
+  check t off 4;
+  touch_lines t off 4;
+  Bytes.get_int32_le t.buf off
+
+let read_int64 t off =
+  check t off 8;
+  touch_lines t off 8;
+  Bytes.get_int64_le t.buf off
+
+let read_string t off len =
+  check t off len;
+  touch_lines t off len;
+  Bytes.sub_string t.buf off len
+
+let blit_to_bytes t off dst dst_off len =
+  check t off len;
+  touch_lines t off len;
+  Bytes.blit t.buf off dst dst_off len
+
+(* ---- writes (land in the volatile cache; durable only after persist) ---- *)
+
+let write_u8 t off v =
+  check t off 1;
+  touch_lines t off 1;
+  mark_dirty t off 1;
+  Bytes.set t.buf off (Char.chr (v land 0xff))
+
+let write_u16 t off v =
+  check t off 2;
+  touch_lines t off 2;
+  mark_dirty t off 2;
+  Bytes.set_uint16_le t.buf off v
+
+let write_int32 t off v =
+  check t off 4;
+  touch_lines t off 4;
+  mark_dirty t off 4;
+  Bytes.set_int32_le t.buf off v
+
+let write_int64 t off v =
+  check t off 8;
+  touch_lines t off 8;
+  mark_dirty t off 8;
+  Bytes.set_int64_le t.buf off v
+
+(** A p-atomic 8-byte store: must be word-aligned, so that it can never
+    tear across a crash (Section 2, "Partial writes"). *)
+let write_int64_atomic t off v =
+  if not (Cacheline.is_word_aligned off) then
+    invalid_arg "Region.write_int64_atomic: offset not 8-byte aligned";
+  write_int64 t off v
+
+let write_string t off s =
+  let len = String.length s in
+  check t off len;
+  if len > 0 then begin
+    touch_lines t off len;
+    mark_dirty t off len;
+    Bytes.blit_string s 0 t.buf off len
+  end
+
+let write_bytes t off b =
+  let len = Bytes.length b in
+  check t off len;
+  if len > 0 then begin
+    touch_lines t off len;
+    mark_dirty t off len;
+    Bytes.blit b 0 t.buf off len
+  end
+
+let blit_internal t ~src ~dst ~len =
+  check t src len;
+  check t dst len;
+  if len > 0 then begin
+    touch_lines t src len;
+    touch_lines t dst len;
+    mark_dirty t dst len;
+    Bytes.blit t.buf src t.buf dst len
+  end
+
+let fill t off len c =
+  check t off len;
+  if len > 0 then begin
+    touch_lines t off len;
+    mark_dirty t off len;
+    Bytes.fill t.buf off len c
+  end
+
+(* ---- persistence primitives ---- *)
+
+let fence _t = if Config.current.stats then incr Stats.fences
+
+(** Flush the cache lines overlapping [off, off+len) and fence: the
+    Persist() primitive of Section 2 (CLFLUSH wrapped in MFENCEs).  If a
+    crash is scheduled at this persistence point, {!Config.Crash_injected}
+    is raised and nothing reaches the persistence domain. *)
+let persist t off len =
+  check t off (max len 0);
+  Config.on_persist ();
+  if Config.current.stats then begin
+    incr Stats.persists;
+    incr Stats.fences
+  end;
+  if len > 0 then begin
+    let first = Cacheline.line_of_offset off in
+    let last = Cacheline.line_of_offset (off + len - 1) in
+    for line = first to last do
+      if Config.current.stats then begin
+        incr Stats.flushes;
+        incr Stats.line_writes
+      end;
+      Latency.on_scm_write_back ();
+      (* CLFLUSH evicts the line from the simulated cache. *)
+      let slot = line mod cache_slots in
+      if t.cache_tags.(slot) = line then t.cache_tags.(slot) <- -1;
+      if Config.current.crash_tracking then
+        (* Every word of the line is now durable. *)
+        for w = line * Cacheline.words_per_line
+            to (line + 1) * Cacheline.words_per_line - 1 do
+          Hashtbl.remove t.dirty w
+        done
+    done
+  end
+
+(** Flush the whole region (used by recovery sanity checks and [save]). *)
+let persist_all t = persist t 0 t.size
+
+(* ---- crash simulation ---- *)
+
+(** Simulate a power failure: unflushed words lose their volatile value
+    according to [mode], then the dirty set is cleared (the "new
+    process" starts from the persistent image). *)
+let crash ?(mode = Config.Revert_all_dirty) t =
+  let revert w old = Bytes.set_int64_le t.buf (w * Cacheline.word_size) old in
+  (match mode with
+  | Config.Revert_all_dirty -> Hashtbl.iter revert t.dirty
+  | Config.Keep_random_subset seed ->
+    let rng = Random.State.make [| seed; t.id |] in
+    (* Iterate deterministically (sorted) so the seed fully decides
+       which words survive. *)
+    let ws = Hashtbl.fold (fun w old acc -> (w, old) :: acc) t.dirty [] in
+    let ws = List.sort compare ws in
+    List.iter (fun (w, old) -> if Random.State.bool rng then revert w old) ws);
+  Hashtbl.reset t.dirty;
+  Array.fill t.cache_tags 0 cache_slots (-1)
+
+(* ---- durability across processes ---- *)
+
+let magic = "FPTSCM01"
+
+(** Write the persistent image (dirty words reverted) to [path]. *)
+let save t path =
+  let img = Bytes.copy t.buf in
+  Hashtbl.iter
+    (fun w old -> Bytes.set_int64_le img (w * Cacheline.word_size) old)
+    t.dirty;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc t.id;
+      output_binary_int oc t.size;
+      output_bytes oc img)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith "Region.load: bad magic";
+      let id = input_binary_int ic in
+      let size = input_binary_int ic in
+      let t = make ~id ~size in
+      really_input ic t.buf 0 size;
+      t)

@@ -1,0 +1,82 @@
+(** A simulated persistent-memory region (one mmap-ed SCM file).
+
+    Reads and writes go through accessors that simulate a direct-mapped
+    CPU cache (to count SCM line misses for the latency model) and
+    track dirty 8-byte words (so a simulated crash reverts exactly what
+    a power failure would lose).  The volatile view and the persistent
+    image differ until {!persist} is called. *)
+
+type t
+
+(** [make ~id ~size] creates a zeroed region.  [size] must be a
+    positive multiple of the cache-line size.
+    @raise Invalid_argument otherwise. *)
+val make : id:int -> size:int -> t
+
+val id : t -> int
+val size : t -> int
+
+(** {1 Reads}
+
+    All accessors bounds-check and raise [Invalid_argument] on
+    out-of-range access. *)
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_int32 : t -> int -> int32
+val read_int64 : t -> int -> int64
+val read_string : t -> int -> int -> string
+val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+
+(** {1 Writes}
+
+    Writes land in the simulated volatile cache: they are visible to
+    subsequent reads immediately but reach the persistence domain only
+    when their cache line is persisted. *)
+
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_int32 : t -> int -> int32 -> unit
+val write_int64 : t -> int -> int64 -> unit
+
+(** A p-atomic 8-byte store: must be word-aligned so it can never tear
+    across a crash (Section 2 of the paper, "Partial writes").
+    @raise Invalid_argument when the offset is not 8-byte aligned. *)
+val write_int64_atomic : t -> int -> int64 -> unit
+
+val write_string : t -> int -> string -> unit
+val write_bytes : t -> int -> bytes -> unit
+val blit_internal : t -> src:int -> dst:int -> len:int -> unit
+val fill : t -> int -> int -> char -> unit
+
+(** {1 Persistence primitives} *)
+
+(** Memory fence (MFENCE equivalent); counted in the statistics. *)
+val fence : t -> unit
+
+(** [persist t off len] flushes the cache lines overlapping
+    [off, off+len) and fences — the paper's [Persist] primitive
+    (CLFLUSH wrapped in MFENCEs).  Raises {!Scm__Config.Crash_injected}
+    via {!Config.on_persist} when a crash is scheduled at this
+    persistence point (nothing reaches the persistence domain then). *)
+val persist : t -> int -> int -> unit
+
+(** Flush the whole region. *)
+val persist_all : t -> unit
+
+(** {1 Crash simulation} *)
+
+(** Simulate a power failure: unflushed words lose their volatile value
+    according to [mode] (default: all reverted), then the process
+    "restarts" with an empty dirty set and cold simulated cache. *)
+val crash : ?mode:Config.crash_mode -> t -> unit
+
+val dirty_word_count : t -> int
+
+(** {1 Durability across processes} *)
+
+(** [save t path] writes the persistent image (dirty words reverted) to
+    [path]. *)
+val save : t -> string -> unit
+
+val load : string -> t

@@ -1,0 +1,37 @@
+(** Registry of open regions — the simulator's analogue of the
+    SCM-aware file system.
+
+    Persistent pointers name regions by integer id; the registry maps
+    ids back to open regions so that persistent pointers can be
+    dereferenced after a (simulated or real) restart. *)
+
+let table : (int, Region.t) Hashtbl.t = Hashtbl.create 16
+let next_id = ref 1
+
+(** Create and register a fresh region. *)
+let create ~size =
+  let id = !next_id in
+  incr next_id;
+  let r = Region.make ~id ~size in
+  Hashtbl.replace table id r;
+  r
+
+(** Register a region loaded from a file (keeps its saved id). *)
+let register r =
+  let id = Region.id r in
+  if Hashtbl.mem table id then
+    invalid_arg (Printf.sprintf "Registry.register: id %d already open" id);
+  Hashtbl.replace table id r;
+  if id >= !next_id then next_id := id + 1
+
+let find id =
+  match Hashtbl.find_opt table id with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "Registry.find: region %d not open" id)
+
+let close id = Hashtbl.remove table id
+
+(** Drop every open region (test isolation). *)
+let clear () =
+  Hashtbl.reset table;
+  next_id := 1

@@ -1,0 +1,18 @@
+(** Registry of open regions — the simulator's analogue of the
+    SCM-aware file system.  Persistent pointers name regions by id; the
+    registry maps ids back to open regions after a restart. *)
+
+(** Create and register a fresh region. *)
+val create : size:int -> Region.t
+
+(** Register a region loaded from a file (keeps its saved id).
+    @raise Invalid_argument if the id is already open. *)
+val register : Region.t -> unit
+
+(** @raise Failure if the region is not open. *)
+val find : int -> Region.t
+
+val close : int -> unit
+
+(** Drop every open region (test isolation). *)
+val clear : unit -> unit

@@ -1,0 +1,67 @@
+(** Access accounting for the SCM simulator.
+
+    Counts cache-line-granularity events.  Benches convert a counter
+    snapshot into "modeled time" for a given SCM latency, which is how
+    the latency sweeps of Figures 7, 12 and 14 are reproduced without
+    the paper's BIOS-level latency emulator. *)
+
+type snapshot = {
+  line_reads : int;   (** SCM lines loaded on a simulated cache miss. *)
+  line_writes : int;  (** SCM lines written back by flushes / nt-stores. *)
+  flushes : int;      (** CLFLUSH-equivalent calls. *)
+  fences : int;       (** MFENCE/SFENCE-equivalent calls. *)
+  persists : int;     (** persist() calls (flush+fence pairs). *)
+}
+
+let zero = { line_reads = 0; line_writes = 0; flushes = 0; fences = 0; persists = 0 }
+
+(* Plain refs: exact in single-threaded runs; under domains the counts
+   are approximate, which is acceptable because concurrent benches
+   report wall-clock throughput, not modeled time. *)
+let line_reads = ref 0
+let line_writes = ref 0
+let flushes = ref 0
+let fences = ref 0
+let persists = ref 0
+
+let reset () =
+  line_reads := 0; line_writes := 0; flushes := 0; fences := 0; persists := 0
+
+let snapshot () = {
+  line_reads = !line_reads;
+  line_writes = !line_writes;
+  flushes = !flushes;
+  fences = !fences;
+  persists = !persists;
+}
+
+let diff a b = {
+  line_reads = b.line_reads - a.line_reads;
+  line_writes = b.line_writes - a.line_writes;
+  flushes = b.flushes - a.flushes;
+  fences = b.fences - a.fences;
+  persists = b.persists - a.persists;
+}
+
+let add a b = {
+  line_reads = b.line_reads + a.line_reads;
+  line_writes = b.line_writes + a.line_writes;
+  flushes = b.flushes + a.flushes;
+  fences = b.fences + a.fences;
+  persists = b.persists + a.persists;
+}
+
+(** Modeled extra time (ns) that the counted SCM traffic costs over the
+    same traffic served from DRAM, at latency [read_ns]/[write_ns].
+    Adding this to measured wall time models running on SCM of that
+    latency: modeled = wall + misses*(scm - dram). *)
+let modeled_extra_ns ?(write_ns = nan) ~read_ns s =
+  let write_ns = if Float.is_nan write_ns then read_ns else write_ns in
+  let dram = Config.current.dram_read_ns in
+  float_of_int s.line_reads *. Float.max 0. (read_ns -. dram)
+  +. float_of_int s.line_writes *. Float.max 0. (write_ns -. dram)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "{reads=%d; writes=%d; flushes=%d; fences=%d; persists=%d}"
+    s.line_reads s.line_writes s.flushes s.fences s.persists

@@ -1,0 +1,32 @@
+(** Access accounting for the SCM simulator: cache-line-granularity
+    event counters and the conversion of a counter snapshot into the
+    "modeled time" that reproduces the paper's latency sweeps. *)
+
+type snapshot = {
+  line_reads : int;
+  line_writes : int;
+  flushes : int;
+  fences : int;
+  persists : int;
+}
+
+val zero : snapshot
+
+(* Live counters (plain refs: exact single-threaded, approximate and
+   harmless under domains — parallel benches disable counting). *)
+val line_reads : int ref
+val line_writes : int ref
+val flushes : int ref
+val fences : int ref
+val persists : int ref
+
+val reset : unit -> unit
+val snapshot : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+val add : snapshot -> snapshot -> snapshot
+
+(** Modeled extra nanoseconds the counted SCM traffic costs over DRAM
+    at the given latencies: modeled time = wall + this. *)
+val modeled_extra_ns : ?write_ns:float -> read_ns:float -> snapshot -> float
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/workloads/domain_pool.ml: Atomic Domain List Unix

@@ -1,0 +1,1 @@
+lib/workloads/keygen.ml: Array Fun Printf Random String

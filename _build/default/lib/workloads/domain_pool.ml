@@ -1,0 +1,44 @@
+(** Parallel benchmark harness: run one function per domain and return
+    the wall-clock time of the slowest (all domains start together on a
+    barrier, as in the paper's concurrency experiments). *)
+
+let now () = Unix.gettimeofday ()
+
+(** [run ~domains f] spawns [domains] workers executing [f worker_id]
+    after a start barrier; returns elapsed seconds (start-to-last-join). *)
+let run ~domains f =
+  if domains < 1 then invalid_arg "Domain_pool.run";
+  if domains = 1 then begin
+    let t0 = now () in
+    f 0;
+    now () -. t0
+  end
+  else begin
+    let ready = Atomic.make 0 in
+    let go = Atomic.make false in
+    let worker d () =
+      Atomic.incr ready;
+      while not (Atomic.get go) do
+        Domain.cpu_relax ()
+      done;
+      f d
+    in
+    let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+    while Atomic.get ready < domains do
+      Domain.cpu_relax ()
+    done;
+    let t0 = now () in
+    Atomic.set go true;
+    List.iter Domain.join ds;
+    now () -. t0
+  end
+
+(** Partition [total] items across [domains]: worker [d] handles
+    indices [fst..snd) of its slice. *)
+let slice ~domains ~total d =
+  let per = total / domains in
+  let lo = d * per in
+  let hi = if d = domains - 1 then total else lo + per in
+  (lo, hi)
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())

@@ -1,0 +1,13 @@
+(** Parallel benchmark harness: one worker function per domain behind a
+    start barrier, timed start-to-last-join (as in the paper's
+    concurrency experiments). *)
+
+val now : unit -> float
+
+(** [run ~domains f] returns the elapsed seconds. *)
+val run : domains:int -> (int -> unit) -> float
+
+(** [slice ~domains ~total d] is worker [d]'s [lo, hi) index range. *)
+val slice : domains:int -> total:int -> int -> int * int
+
+val available_domains : unit -> int

@@ -1,0 +1,43 @@
+(** Zipfian item generator (Gray et al. rejection-free method with a
+    precomputed harmonic table for small n, and the YCSB-style
+    approximation for large n). *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  rng : Random.State.t;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ?(theta = 0.99) ~n ~seed () =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. ((2. /. float_of_int n) ** (1. -. theta)))
+    /. (1. -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; rng = Random.State.make [| seed |] }
+
+(** Next item in [0, n): item 0 is the most popular. *)
+let next t =
+  let u = Random.State.float t.rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** t.theta) then 1
+  else
+    let v =
+      float_of_int t.n
+      *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha)
+    in
+    min (t.n - 1) (int_of_float v)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Domain Hashtbl List Pmem Printf QCheck QCheck_alcotest Random Scm

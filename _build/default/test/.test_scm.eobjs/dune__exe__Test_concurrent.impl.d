@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Atomic Domain Fptree Htm List Pmem Scm

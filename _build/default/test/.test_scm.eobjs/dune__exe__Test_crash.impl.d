@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Fptree Hashtbl List Pmem Printf Scm

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Baselines Fptree List Pmem Printf QCheck QCheck_alcotest Random Scm String

@@ -1,0 +1,1 @@
+test/test_fptree.ml: Alcotest Array Fptree Hashtbl List Pmem Printf QCheck QCheck_alcotest Random Scm String

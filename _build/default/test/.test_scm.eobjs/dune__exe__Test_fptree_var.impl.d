@@ -1,0 +1,1 @@
+test/test_fptree_var.ml: Alcotest Array Fptree Hashtbl List Pmem Printf QCheck QCheck_alcotest Scm String

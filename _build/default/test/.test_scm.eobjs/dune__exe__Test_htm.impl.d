@@ -1,0 +1,1 @@
+test/test_htm.ml: Alcotest Atomic Domain Fun Htm List QCheck QCheck_alcotest Sys

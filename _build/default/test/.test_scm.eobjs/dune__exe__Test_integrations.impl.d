@@ -1,0 +1,1 @@
+test/test_integrations.ml: Alcotest Baselines Dbproto Fptree Kvstore List Pmem Printf Scm

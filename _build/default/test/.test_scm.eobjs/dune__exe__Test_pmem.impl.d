@@ -1,0 +1,1 @@
+test/test_pmem.ml: Alcotest Array List Pmem Printf QCheck QCheck_alcotest Scm String

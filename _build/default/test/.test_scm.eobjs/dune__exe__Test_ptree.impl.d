@@ -1,0 +1,1 @@
+test/test_ptree.ml: Alcotest Fptree Hashtbl List Pmem Printf QCheck QCheck_alcotest Scm

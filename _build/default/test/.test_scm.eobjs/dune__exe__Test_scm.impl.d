@@ -1,0 +1,1 @@
+test/test_scm.ml: Alcotest Array Bytes Filename Int64 List Printf QCheck QCheck_alcotest Scm String Sys

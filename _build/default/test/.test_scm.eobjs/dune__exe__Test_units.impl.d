@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Atomic Domain Fptree Int List Pmem Printf Scm

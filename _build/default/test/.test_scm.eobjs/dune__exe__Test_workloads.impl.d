@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Atomic Fun List String Workloads

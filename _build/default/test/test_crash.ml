@@ -1,0 +1,321 @@
+(* Crash-consistency torture tests: the paper's headline persistence
+   claim is that the FPTree "self-recovers to a consistent state from
+   any software crash or power failure scenario".
+
+   Strategy: run an operation sequence, inject a crash at the n-th
+   persistence point (for every n until the sequence completes), drop
+   all unflushed words, recover, and verify that
+
+   - every operation completed before the crash is fully visible,
+   - the in-flight operation is atomic (fully applied or absent),
+   - structural invariants hold,
+   - no persistent memory is leaked,
+   - the tree remains fully usable afterwards. *)
+
+module F = Fptree.Fixed
+module V = Fptree.Var
+module Tree = Fptree.Tree
+
+type op = Ins of int * int | Del of int | Upd of int * int
+
+let apply_tree_f t = function
+  | Ins (k, v) -> ignore (F.insert t k v)
+  | Del k -> ignore (F.delete t k)
+  | Upd (k, v) -> ignore (F.update t k v)
+
+let apply_model m = function
+  | Ins (k, v) -> if not (Hashtbl.mem m k) then Hashtbl.replace m k v
+  | Del k -> Hashtbl.remove m k
+  | Upd (k, v) -> if Hashtbl.mem m k then Hashtbl.replace m k v
+
+(* Check that t equals model OR model-with-[pending]-applied. *)
+let consistent_with t m pending =
+  let matches model =
+    let ok = ref (F.count t = Hashtbl.length model) in
+    Hashtbl.iter (fun k v -> if F.find t k <> Some v then ok := false) model;
+    !ok
+  in
+  if matches m then true
+  else begin
+    let m' = Hashtbl.copy m in
+    (match pending with Some op -> apply_model m' op | None -> ());
+    matches m'
+  end
+
+(* Run [ops] against a fresh tree with a crash at persist point [n];
+   returns false if the sequence finished without crashing. *)
+let crash_run ~config ~mode ops n =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+  let t = F.create ~config a in
+  let m = Hashtbl.create 64 in
+  Scm.Config.schedule_crash_after n;
+  let pending = ref None in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun op ->
+         pending := Some op;
+         apply_tree_f t op;
+         apply_model m op;
+         pending := None)
+       ops
+   with Scm.Config.Crash_injected -> crashed := true);
+  Scm.Config.disarm_crash ();
+  if not !crashed then false
+  else begin
+    Scm.Region.crash ~mode (Pmem.Palloc.region a);
+    let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+    let t2 = F.recover ~config a' in
+    F.check_invariants t2;
+    if not (consistent_with t2 m !pending) then
+      Alcotest.failf "crash at persist %d: tree inconsistent with model" n;
+    (match Pmem.Palloc.leaked_blocks a' ~reachable:(F.reachable_blocks t2) with
+    | [] -> ()
+    | l -> Alcotest.failf "crash at persist %d: %d leaked blocks" n (List.length l));
+    (* the recovered tree must remain fully usable *)
+    ignore (F.insert t2 999_999 1);
+    if F.find t2 999_999 <> Some 1 then
+      Alcotest.failf "crash at persist %d: tree unusable after recovery" n;
+    true
+  end
+
+let sweep_all_crash_points ~config ~mode ops =
+  let n = ref 1 in
+  while crash_run ~config ~mode ops !n do
+    incr n
+  done;
+  !n - 1
+
+(* An op mix that forces splits, in-leaf deletes, whole-leaf deletes,
+   and updates with tiny leaves so every micro-log path fires. *)
+let torture_ops =
+  List.concat
+    [
+      List.init 40 (fun i -> Ins (i * 3, i));
+      List.init 10 (fun i -> Upd (i * 6, i + 100));
+      List.init 12 (fun i -> Del (i * 9));
+      List.init 10 (fun i -> Ins ((i * 3) + 1, i));
+      List.init 30 (fun i -> Del (i * 3));
+    ]
+
+let test_sweep_groups () =
+  let config =
+    { Tree.fptree_config with Tree.m = 4; Tree.group_size = 2; Tree.use_groups = true }
+  in
+  let points =
+    sweep_all_crash_points ~config ~mode:Scm.Config.Revert_all_dirty torture_ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d crash points (groups)" points)
+    true (points > 100)
+
+let test_sweep_no_groups () =
+  let config = { Tree.fptree_config with Tree.m = 4; Tree.use_groups = false } in
+  let points =
+    sweep_all_crash_points ~config ~mode:Scm.Config.Revert_all_dirty torture_ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d crash points (no groups)" points)
+    true (points > 100)
+
+let test_sweep_random_eviction () =
+  (* Eviction-adversarial mode: each dirty word independently survives. *)
+  let config = { Tree.fptree_config with Tree.m = 4; Tree.use_groups = false } in
+  let ops = List.filteri (fun i _ -> i < 60) torture_ops in
+  let n = ref 1 in
+  let seed = ref 0 in
+  while
+    incr seed;
+    crash_run ~config ~mode:(Scm.Config.Keep_random_subset !seed) ops !n
+  do
+    incr n
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d crash points (random eviction)" (!n - 1))
+    true
+    (!n > 50)
+
+(* Variable-size keys: same sweep over a key-churn workload, checking
+   the Algorithm 17 leak audit at every crash point. *)
+let test_sweep_var_keys () =
+  let config = { Tree.fptree_config with Tree.m = 4; Tree.use_groups = false } in
+  let keypool = Array.init 40 (fun i -> Printf.sprintf "vk%03d" i) in
+  let ops =
+    List.concat
+      [
+        List.init 40 (fun i -> `Ins (keypool.(i), i));
+        List.init 20 (fun i -> `Upd (keypool.(i * 2), i + 50));
+        List.init 30 (fun i -> `Del keypool.(i));
+      ]
+  in
+  let crash_run n =
+    Scm.Registry.clear ();
+    Scm.Config.reset ();
+    let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+    let t = V.create ~config a in
+    let m = Hashtbl.create 64 in
+    Scm.Config.schedule_crash_after n;
+    let pending = ref None in
+    let crashed = ref false in
+    (try
+       List.iter
+         (fun op ->
+           pending := Some op;
+           (match op with
+           | `Ins (k, v) -> ignore (V.insert t k v)
+           | `Del k -> ignore (V.delete t k)
+           | `Upd (k, v) -> ignore (V.update t k v));
+           (match op with
+           | `Ins (k, v) -> if not (Hashtbl.mem m k) then Hashtbl.replace m k v
+           | `Del k -> Hashtbl.remove m k
+           | `Upd (k, v) -> if Hashtbl.mem m k then Hashtbl.replace m k v);
+           pending := None)
+         ops
+     with Scm.Config.Crash_injected -> crashed := true);
+    Scm.Config.disarm_crash ();
+    if not !crashed then false
+    else begin
+      Scm.Region.crash (Pmem.Palloc.region a);
+      let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+      let t2 = V.recover ~config a' in
+      V.check_invariants t2;
+      let matches model =
+        let ok = ref (V.count t2 = Hashtbl.length model) in
+        Hashtbl.iter (fun k v -> if V.find t2 k <> Some v then ok := false) model;
+        !ok
+      in
+      let m' = Hashtbl.copy m in
+      (match !pending with
+      | Some (`Ins (k, v)) -> if not (Hashtbl.mem m' k) then Hashtbl.replace m' k v
+      | Some (`Del k) -> Hashtbl.remove m' k
+      | Some (`Upd (k, v)) -> if Hashtbl.mem m' k then Hashtbl.replace m' k v
+      | None -> ());
+      if not (matches m || matches m') then
+        Alcotest.failf "var crash at persist %d: inconsistent" n;
+      (match Pmem.Palloc.leaked_blocks a' ~reachable:(V.reachable_blocks t2) with
+      | [] -> ()
+      | l ->
+        Alcotest.failf "var crash at persist %d: %d leaked blocks" n
+          (List.length l));
+      true
+    end
+  in
+  let n = ref 1 in
+  while crash_run !n do
+    incr n
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d var-key crash points" (!n - 1))
+    true
+    (!n > 100)
+
+(* Crash during tree creation must be recoverable too. *)
+let test_crash_during_create () =
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue do
+    Scm.Registry.clear ();
+    Scm.Config.reset ();
+    let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+    Scm.Config.schedule_crash_after !n;
+    let crashed =
+      try
+        ignore (F.create ~config:{ Tree.fptree_config with Tree.m = 4 } a);
+        false
+      with Scm.Config.Crash_injected -> true
+    in
+    Scm.Config.disarm_crash ();
+    if not crashed then continue := false
+    else begin
+      Scm.Region.crash (Pmem.Palloc.region a);
+      let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+      (* Either no root was anchored yet (re-create), or the partially
+         initialized tree completes on recover. *)
+      let t2 =
+        if Pmem.Pptr.is_null (Pmem.Palloc.root a') then
+          F.create ~config:{ Tree.fptree_config with Tree.m = 4 } a'
+        else F.recover ~config:{ Tree.fptree_config with Tree.m = 4 } a'
+      in
+      ignore (F.insert t2 1 1);
+      Alcotest.(check (option int))
+        (Printf.sprintf "create crash@%d: tree usable" !n)
+        (Some 1) (F.find t2 1);
+      incr n
+    end
+  done;
+  Alcotest.(check bool) "swept create crash points" true (!n > 3)
+
+(* Double crash: crash during recovery itself (recovery must be
+   idempotent). *)
+let test_crash_during_recovery () =
+  let config = { Tree.fptree_config with Tree.m = 4; Tree.use_groups = false } in
+  (* First crash mid-split. *)
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+  let t = F.create ~config a in
+  let m = Hashtbl.create 16 in
+  Scm.Config.schedule_crash_after 400;
+  (try
+     for i = 1 to 200 do
+       ignore (F.insert t i i);
+       Hashtbl.replace m i i
+     done
+   with Scm.Config.Crash_injected -> ());
+  Scm.Config.disarm_crash ();
+  Scm.Region.crash (Pmem.Palloc.region a);
+  (* Now crash at every persist point of the recovery, then recover
+     fully and check consistency. *)
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue do
+    Scm.Config.schedule_crash_after !n;
+    let crashed =
+      try
+        let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+        ignore (F.recover ~config a');
+        false
+      with Scm.Config.Crash_injected -> true
+    in
+    Scm.Config.disarm_crash ();
+    if crashed then begin
+      Scm.Region.crash (Pmem.Palloc.region a);
+      incr n
+    end
+    else continue := false
+  done;
+  let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+  let t2 = F.recover ~config a' in
+  F.check_invariants t2;
+  (* Every committed insert must be present (the model only records
+     inserts whose call returned before the crash). *)
+  Hashtbl.iter
+    (fun k v ->
+      match F.find t2 k with
+      | Some v' -> Alcotest.(check int) (Printf.sprintf "value of %d" k) v v'
+      | None -> Alcotest.failf "committed key %d lost" k)
+    m;
+  Alcotest.(check bool)
+    (Printf.sprintf "recovery survived %d nested crash points" (!n - 1))
+    true (!n >= 1)
+
+let () =
+  Alcotest.run "crash-consistency"
+    [
+      ( "sweeps",
+        [
+          Alcotest.test_case "all crash points (leaf groups)" `Slow test_sweep_groups;
+          Alcotest.test_case "all crash points (allocator per split)" `Slow
+            test_sweep_no_groups;
+          Alcotest.test_case "random-eviction crashes" `Slow test_sweep_random_eviction;
+          Alcotest.test_case "var-key crash points + leak audit" `Slow
+            test_sweep_var_keys;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "crash during create" `Quick test_crash_during_create;
+          Alcotest.test_case "crash during recovery" `Quick test_crash_during_recovery;
+        ] );
+    ]

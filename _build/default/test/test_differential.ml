@@ -1,0 +1,164 @@
+(* Differential testing: every tree in the repository implements the
+   same unique-key ordered-map contract, so the same operation sequence
+   must produce the same observable result on all of them — per-op
+   return values, final contents, and range scans. *)
+
+type fixed_tree = {
+  name : string;
+  insert : int -> int -> bool;
+  find : int -> int option;
+  update : int -> int -> bool;
+  delete : int -> bool;
+  range : int -> int -> (int * int) list;
+  count : unit -> int;
+}
+
+let mk_all () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  let fp =
+    let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+    let t = Fptree.Fixed.create ~config:{ Fptree.Tree.fptree_config with Fptree.Tree.m = 6 } a in
+    { name = "FPTree"; insert = Fptree.Fixed.insert t; find = Fptree.Fixed.find t;
+      update = Fptree.Fixed.update t; delete = Fptree.Fixed.delete t;
+      range = (fun lo hi -> Fptree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Fptree.Fixed.count t) }
+  in
+  let fpc =
+    let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+    let t = Fptree.Fixed.create_concurrent ~m:6 a in
+    { name = "FPTreeC"; insert = Fptree.Fixed.insert t; find = Fptree.Fixed.find t;
+      update = Fptree.Fixed.update t; delete = Fptree.Fixed.delete t;
+      range = (fun lo hi -> Fptree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Fptree.Fixed.count t) }
+  in
+  let pt =
+    let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+    let t = Fptree.Ptree.Fixed.create ~m:6 a in
+    { name = "PTree"; insert = Fptree.Ptree.Fixed.insert t;
+      find = Fptree.Ptree.Fixed.find t; update = Fptree.Ptree.Fixed.update t;
+      delete = Fptree.Ptree.Fixed.delete t;
+      range = (fun lo hi -> Fptree.Ptree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Fptree.Ptree.Fixed.count t) }
+  in
+  let nv =
+    let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+    let t = Baselines.Nvtree.Fixed.create ~cap:8 ~pln_cap:4 a in
+    { name = "NV-Tree"; insert = Baselines.Nvtree.Fixed.insert t;
+      find = Baselines.Nvtree.Fixed.find t; update = Baselines.Nvtree.Fixed.update t;
+      delete = Baselines.Nvtree.Fixed.delete t;
+      range = (fun lo hi -> Baselines.Nvtree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Baselines.Nvtree.Fixed.count t) }
+  in
+  let wb =
+    let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+    let t = Baselines.Wbtree.Fixed.create ~leaf_m:6 ~inner_m:5 a in
+    { name = "wBTree"; insert = Baselines.Wbtree.Fixed.insert t;
+      find = Baselines.Wbtree.Fixed.find t; update = Baselines.Wbtree.Fixed.update t;
+      delete = Baselines.Wbtree.Fixed.delete t;
+      range = (fun lo hi -> Baselines.Wbtree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Baselines.Wbtree.Fixed.count t) }
+  in
+  let stx =
+    let t = Baselines.Stxtree.Fixed.create ~leaf_cap:6 ~inner_cap:6 () in
+    { name = "STXTree"; insert = Baselines.Stxtree.Fixed.insert t;
+      find = Baselines.Stxtree.Fixed.find t; update = Baselines.Stxtree.Fixed.update t;
+      delete = Baselines.Stxtree.Fixed.delete t;
+      range = (fun lo hi -> Baselines.Stxtree.Fixed.range t ~lo ~hi);
+      count = (fun () -> Baselines.Stxtree.Fixed.count t) }
+  in
+  [ fp; fpc; pt; nv; wb; stx ]
+
+type op = Ins of int * int | Del of int | Upd of int * int | Fnd of int | Rng of int * int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Ins (k, v)) (int_bound 120) (int_bound 9999));
+        (3, map (fun k -> Del k) (int_bound 120));
+        (3, map2 (fun k v -> Upd (k, v)) (int_bound 120) (int_bound 9999));
+        (3, map (fun k -> Fnd k) (int_bound 120));
+        (1, map2 (fun a b -> Rng (min a b, max a b)) (int_bound 120) (int_bound 120));
+      ])
+
+let op_print = function
+  | Ins (k, v) -> Printf.sprintf "Ins(%d,%d)" k v
+  | Del k -> Printf.sprintf "Del(%d)" k
+  | Upd (k, v) -> Printf.sprintf "Upd(%d,%d)" k v
+  | Fnd k -> Printf.sprintf "Fnd(%d)" k
+  | Rng (a, b) -> Printf.sprintf "Rng(%d,%d)" a b
+
+exception Diverged of string
+
+let run_op t = function
+  | Ins (k, v) -> `B (t.insert k v)
+  | Del k -> `B (t.delete k)
+  | Upd (k, v) -> `B (t.update k v)
+  | Fnd k -> `F (t.find k)
+  | Rng (a, b) -> `R (t.range a b)
+
+let qcheck_differential =
+  QCheck.Test.make ~name:"all trees agree on every operation" ~count:50
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map op_print l))
+       (QCheck.Gen.list_size (QCheck.Gen.return 250) op_gen))
+    (fun ops ->
+      let trees = mk_all () in
+      let reference = List.hd trees in
+      (try
+         List.iter
+           (fun op ->
+             let expect = run_op reference op in
+             List.iter
+               (fun t ->
+                 let got = run_op t op in
+                 if got <> expect then
+                   raise
+                     (Diverged
+                        (Printf.sprintf "%s diverges from %s on %s" t.name
+                           reference.name (op_print op))))
+               (List.tl trees))
+           ops
+       with Diverged msg -> QCheck.Test.fail_report msg);
+      let c = reference.count () in
+      List.for_all (fun t -> t.count () = c) trees)
+
+let test_dense_churn_differential () =
+  (* deterministic heavy churn: interleaved growth and shrinkage *)
+  let trees = mk_all () in
+  let reference = List.hd trees in
+  let rng = Random.State.make [| 20260705 |] in
+  for i = 1 to 8_000 do
+    let k = Random.State.int rng 400 in
+    let op =
+      match Random.State.int rng 4 with
+      | 0 -> Ins (k, i)
+      | 1 -> Del k
+      | 2 -> Upd (k, i)
+      | _ -> Fnd k
+    in
+    let expect = run_op reference op in
+    List.iter
+      (fun t ->
+        let got = run_op t op in
+        if got <> expect then
+          Alcotest.failf "step %d: %s diverges on %s" i t.name (op_print op))
+      (List.tl trees)
+  done;
+  let full = reference.range 0 400 in
+  List.iter
+    (fun t ->
+      if t.range 0 400 <> full then Alcotest.failf "%s final contents differ" t.name)
+    (List.tl trees)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "fixed-keys",
+        [
+          QCheck_alcotest.to_alcotest qcheck_differential;
+          Alcotest.test_case "dense churn" `Quick test_dense_churn_differential;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests of the variable-size (string) key FPTree: out-of-line key
+   blocks, the update-by-reference optimization, key deallocation, and
+   the leak audit of Algorithm 17. *)
+
+module V = Fptree.Var
+module Tree = Fptree.Tree
+
+let fresh_alloc ?(size = 32 * 1024 * 1024) () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Stats.reset ();
+  Pmem.Palloc.create ~size ()
+
+let single ?(m = 8) () =
+  let a = fresh_alloc () in
+  (a, V.create_single ~m a)
+
+let key i = Printf.sprintf "key-%06d" i
+
+let test_insert_find () =
+  let _, t = single () in
+  Alcotest.(check bool) "insert" true (V.insert t "alpha" 1);
+  Alcotest.(check bool) "insert" true (V.insert t "beta" 2);
+  Alcotest.(check (option int)) "find alpha" (Some 1) (V.find t "alpha");
+  Alcotest.(check (option int)) "find beta" (Some 2) (V.find t "beta");
+  Alcotest.(check (option int)) "missing" None (V.find t "gamma");
+  Alcotest.(check bool) "duplicate" false (V.insert t "alpha" 9);
+  Alcotest.(check (option int)) "unchanged" (Some 1) (V.find t "alpha")
+
+let test_lexicographic_order () =
+  let _, t = single ~m:4 () in
+  List.iter (fun k -> ignore (V.insert t k 0)) [ "b"; "ab"; "a"; "ba"; "aa"; "bb" ];
+  let r = V.range t ~lo:"a" ~hi:"b" in
+  Alcotest.(check (list string)) "range is lexicographic"
+    [ "a"; "aa"; "ab"; "b" ]
+    (List.map fst r)
+
+let test_long_and_short_keys () =
+  let _, t = single ~m:4 () in
+  let long = String.make 1000 'x' in
+  ignore (V.insert t "s" 1);
+  ignore (V.insert t long 2);
+  Alcotest.(check (option int)) "1-char key" (Some 1) (V.find t "s");
+  Alcotest.(check (option int)) "1000-char key" (Some 2) (V.find t long);
+  Alcotest.check_raises "empty key rejected"
+    (Invalid_argument "Var key length must be in [1, 4096]") (fun () ->
+      ignore (V.insert t "" 3))
+
+let test_many_keys_with_splits () =
+  let _, t = single ~m:4 () in
+  for i = 1 to 400 do
+    ignore (V.insert t (key i) i)
+  done;
+  V.check_invariants t;
+  for i = 1 to 400 do
+    Alcotest.(check (option int)) "find" (Some i) (V.find t (key i))
+  done;
+  Alcotest.(check int) "count" 400 (V.count t)
+
+let test_update_reuses_key_block () =
+  let a, t = single () in
+  ignore (V.insert t "k" 1);
+  let allocs_before = Pmem.Palloc.alloc_count a in
+  Alcotest.(check bool) "update" true (V.update t "k" 2);
+  Alcotest.(check (option int)) "new value" (Some 2) (V.find t "k");
+  Alcotest.(check int) "no allocation on update (key block reused)"
+    allocs_before (Pmem.Palloc.alloc_count a)
+
+let test_delete_frees_key_block () =
+  let a, t = single () in
+  ignore (V.insert t "k1" 1);
+  ignore (V.insert t "k2" 2);
+  let frees_before = Pmem.Palloc.free_count a in
+  Alcotest.(check bool) "delete" true (V.delete t "k1");
+  Alcotest.(check bool) "key block deallocated" true
+    (Pmem.Palloc.free_count a > frees_before);
+  Alcotest.(check (option int)) "gone" None (V.find t "k1");
+  let leaks = Pmem.Palloc.leaked_blocks a ~reachable:(V.reachable_blocks t) in
+  Alcotest.(check (list int)) "no leaks" [] leaks
+
+let test_churn_no_leaks () =
+  let a, t = single ~m:4 () in
+  for round = 0 to 4 do
+    for i = 1 to 200 do
+      ignore (V.insert t (key ((round * 200) + i)) i)
+    done;
+    for i = 1 to 200 do
+      if i mod 2 = 0 then ignore (V.delete t (key ((round * 200) + i)))
+    done;
+    for i = 1 to 200 do
+      if i mod 4 = 1 then ignore (V.update t (key ((round * 200) + i)) (i * 10))
+    done
+  done;
+  V.check_invariants t;
+  let leaks = Pmem.Palloc.leaked_blocks a ~reachable:(V.reachable_blocks t) in
+  Alcotest.(check (list int)) "no leaks after heavy churn" [] leaks
+
+let test_recovery () =
+  let a, t = single ~m:4 () in
+  for i = 1 to 300 do
+    ignore (V.insert t (key i) i)
+  done;
+  for i = 1 to 100 do
+    ignore (V.delete t (key i))
+  done;
+  let t2 = V.recover (Pmem.Palloc.of_region (Pmem.Palloc.region a)) in
+  V.check_invariants t2;
+  Alcotest.(check int) "count preserved" 200 (V.count t2);
+  Alcotest.(check (option int)) "survivor" (Some 101) (V.find t2 (key 101));
+  Alcotest.(check (option int)) "deleted" None (V.find t2 (key 1));
+  ignore (V.insert t2 "fresh" 42);
+  Alcotest.(check (option int)) "writable after recovery" (Some 42)
+    (V.find t2 "fresh")
+
+let test_recovery_leak_audit_insert () =
+  (* Sweep crash points through a var-key insert; whatever the crash
+     point, recovery (Algorithm 17's audit) must leave no leaked key
+     block. *)
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue do
+    Scm.Registry.clear ();
+    Scm.Config.reset ();
+    let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+    let t = V.create_single ~m:4 a in
+    ignore (V.insert t "anchor" 1);
+    Scm.Config.schedule_crash_after !n;
+    let crashed =
+      try
+        ignore (V.insert t "leaky" 2);
+        false
+      with Scm.Config.Crash_injected -> true
+    in
+    Scm.Config.disarm_crash ();
+    if not crashed then continue := false
+    else begin
+      Scm.Region.crash (Pmem.Palloc.region a);
+      let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+      let t2 = V.recover a' in
+      V.check_invariants t2;
+      let leaks = Pmem.Palloc.leaked_blocks a' ~reachable:(V.reachable_blocks t2) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "crash@%d: audit leaves no leaks" !n)
+        [] leaks;
+      (* the insert is atomic: present with value 2, or absent *)
+      (match V.find t2 "leaky" with
+      | Some v -> Alcotest.(check int) "complete insert" 2 v
+      | None -> ());
+      Alcotest.(check (option int)) "anchor intact" (Some 1) (V.find t2 "anchor");
+      incr n
+    end
+  done;
+  Alcotest.(check bool) "swept multiple crash points" true (!n > 3)
+
+(* model-based property test over string keys *)
+let qcheck_model =
+  let keypool = Array.init 60 (fun i -> Printf.sprintf "k%02d" i) in
+  QCheck.Test.make ~name:"var-key model equivalence" ~count:40
+    QCheck.(list (pair (int_bound 59) (int_bound 3)))
+    (fun ops ->
+      Scm.Registry.clear ();
+      Scm.Config.reset ();
+      let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+      let t = V.create_single ~m:4 a in
+      let m = Hashtbl.create 64 in
+      List.iteri
+        (fun i (ki, op) ->
+          let k = keypool.(ki) in
+          match op with
+          | 0 -> if V.insert t k i then Hashtbl.replace m k i
+          | 1 -> if V.delete t k then Hashtbl.remove m k
+          | 2 -> if V.update t k (i * 7) then Hashtbl.replace m k (i * 7)
+          | _ -> ignore (V.find t k))
+        ops;
+      V.check_invariants t;
+      let ok = ref (V.count t = Hashtbl.length m) in
+      Array.iter
+        (fun k -> if V.find t k <> Hashtbl.find_opt m k then ok := false)
+        keypool;
+      !ok
+      && Pmem.Palloc.leaked_blocks a ~reachable:(V.reachable_blocks t) = [])
+
+let () =
+  Alcotest.run "fptree-var"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "lexicographic order" `Quick test_lexicographic_order;
+          Alcotest.test_case "long and short keys" `Quick test_long_and_short_keys;
+          Alcotest.test_case "many keys with splits" `Quick test_many_keys_with_splits;
+        ] );
+      ( "key-blocks",
+        [
+          Alcotest.test_case "update reuses key block" `Quick
+            test_update_reuses_key_block;
+          Alcotest.test_case "delete frees key block" `Quick
+            test_delete_frees_key_block;
+          Alcotest.test_case "churn leaves no leaks" `Quick test_churn_no_leaks;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "basic recovery" `Quick test_recovery;
+          Alcotest.test_case "leak audit across insert crash points" `Quick
+            test_recovery_leak_audit_insert;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_model ]);
+    ]

@@ -1,0 +1,154 @@
+(* Tests of the TSX-emulating speculative lock: optimistic commit,
+   abort/retry, fallback, writer exclusion, and multi-domain
+   linearizability of a protected counter. *)
+
+module Spec = Htm.Speculative_lock
+
+let test_read_commit () =
+  let l = Spec.create () in
+  let v = Spec.with_txn l (fun () -> Spec.Commit 42) in
+  Alcotest.(check int) "commits value" 42 v;
+  let s = Spec.stats l in
+  Alcotest.(check int) "no aborts" 0 s.Spec.aborts
+
+let test_abort_then_fallback () =
+  let l = Spec.create ~retry_threshold:3 () in
+  let attempts = ref 0 in
+  let v =
+    Spec.with_txn l (fun () ->
+        incr attempts;
+        if !attempts < 5 then Spec.Abort else Spec.Commit !attempts)
+  in
+  Alcotest.(check int) "eventually commits (under fallback)" 5 v;
+  let s = Spec.stats l in
+  Alcotest.(check bool) "took the fallback" true (s.Spec.fallbacks >= 1);
+  Alcotest.(check int) "three optimistic aborts" 3 s.Spec.aborts
+
+let test_writer_conflicts_reader () =
+  let l = Spec.create ~retry_threshold:100 () in
+  let x = ref 0 and y = ref 0 in
+  let d =
+    Domain.spawn (fun () ->
+        for i = 1 to 5000 do
+          Spec.with_write l (fun () ->
+              x := i;
+              (* widen the race window *)
+              for _ = 1 to 50 do
+                ignore (Sys.opaque_identity !x)
+              done;
+              y := i)
+        done)
+  in
+  let torn = ref 0 in
+  for _ = 1 to 20000 do
+    let a, b =
+      Spec.with_txn l (fun () ->
+          let a = !x in
+          let b = !y in
+          Spec.Commit (a, b))
+    in
+    if a <> b then incr torn
+  done;
+  Domain.join d;
+  Alcotest.(check int) "optimistic reads never observe torn state" 0 !torn
+
+let test_on_rollback_called () =
+  let l = Spec.create ~retry_threshold:100 () in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Spec.with_write l (fun () -> ())
+        done)
+  in
+  let acquired = Atomic.make 0 and rolled_back = Atomic.make 0 in
+  for _ = 1 to 20000 do
+    let committed =
+      Spec.with_txn l
+        ~on_rollback:(fun side_effect ->
+          if side_effect then Atomic.incr rolled_back)
+        (fun () ->
+          Atomic.incr acquired;
+          Spec.Commit true)
+    in
+    ignore committed
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  (* every speculative acquisition was either committed or rolled back *)
+  Alcotest.(check bool) "no lost rollbacks" true
+    (Atomic.get acquired - Atomic.get rolled_back <= 20000
+    && Atomic.get rolled_back >= 0)
+
+let test_counter_under_contention () =
+  (* CAS-guarded counter: increments happen inside with_write; reads
+     race optimistically.  The final count must be exact. *)
+  let l = Spec.create () in
+  let c = ref 0 in
+  let n_domains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let per = 10_000 in
+  let workers =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Spec.with_write l (fun () -> incr c)
+            done))
+  in
+  let readers_saw_monotone = ref true in
+  let last = ref 0 in
+  for _ = 1 to 1000 do
+    let v = Spec.with_txn l (fun () -> Spec.Commit !c) in
+    if v < !last then readers_saw_monotone := false;
+    last := v
+  done;
+  List.iter Domain.join workers;
+  Alcotest.(check int) "exact count" (n_domains * per) !c;
+  Alcotest.(check bool) "reads monotone" true !readers_saw_monotone
+
+let test_exception_passthrough () =
+  let l = Spec.create () in
+  Alcotest.check_raises "exceptions propagate when state is stable"
+    (Failure "boom") (fun () ->
+      ignore (Spec.with_txn l (fun () -> failwith "boom")))
+
+let qcheck_nested_write_consistency =
+  QCheck.Test.make ~name:"writer sections are serializable" ~count:20
+    QCheck.(int_range 2 4)
+    (fun n ->
+      let l = Spec.create () in
+      let log = ref [] in
+      let workers =
+        List.init n (fun id ->
+            Domain.spawn (fun () ->
+                for i = 0 to 99 do
+                  Spec.with_write l (fun () -> log := (id, i) :: !log)
+                done))
+      in
+      List.iter Domain.join workers;
+      (* per-writer subsequences must be in order *)
+      let ok = ref true in
+      List.iter
+        (fun id ->
+          let seq = List.filter (fun (w, _) -> w = id) (List.rev !log) in
+          let expect = List.init 100 (fun i -> (id, i)) in
+          if seq <> expect then ok := false)
+        (List.init n Fun.id);
+      List.length !log = n * 100 && !ok)
+
+let () =
+  Alcotest.run "htm"
+    [
+      ( "speculative-lock",
+        [
+          Alcotest.test_case "read commit" `Quick test_read_commit;
+          Alcotest.test_case "abort then fallback" `Quick test_abort_then_fallback;
+          Alcotest.test_case "exception passthrough" `Quick test_exception_passthrough;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "no torn optimistic reads" `Quick test_writer_conflicts_reader;
+          Alcotest.test_case "rollback accounting" `Quick test_on_rollback_called;
+          Alcotest.test_case "counter under contention" `Quick test_counter_under_contention;
+          QCheck_alcotest.to_alcotest qcheck_nested_write_consistency;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests of the PTree (light FPTree: selective persistence + unsorted
+   leaves, split key/value arrays, no fingerprints). *)
+
+module P = Fptree.Ptree.Fixed
+module PV = Fptree.Ptree.Var
+module Tree = Fptree.Tree
+
+let fresh_alloc () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Stats.reset ();
+  Pmem.Palloc.create ~size:(32 * 1024 * 1024) ()
+
+let test_layout_has_no_fingerprints () =
+  let cfg = Tree.ptree_config in
+  Alcotest.(check bool) "no fingerprints" false cfg.Tree.fingerprints;
+  Alcotest.(check bool) "split arrays" true cfg.Tree.split_arrays
+
+let test_basic_ops () =
+  let a = fresh_alloc () in
+  let t = P.create ~m:8 a in
+  for i = 1 to 500 do
+    Alcotest.(check bool) "insert" true (P.insert t i (i * 2))
+  done;
+  P.check_invariants t;
+  for i = 1 to 500 do
+    Alcotest.(check (option int)) "find" (Some (i * 2)) (P.find t i)
+  done;
+  Alcotest.(check bool) "update" true (P.update t 250 0);
+  Alcotest.(check (option int)) "updated" (Some 0) (P.find t 250);
+  for i = 1 to 250 do
+    Alcotest.(check bool) "delete" true (P.delete t i)
+  done;
+  Alcotest.(check int) "count" 250 (P.count t)
+
+let test_recovery () =
+  let a = fresh_alloc () in
+  let t = P.create ~m:8 a in
+  for i = 1 to 300 do
+    ignore (P.insert t i i)
+  done;
+  let t2 = P.recover ~config:Tree.ptree_config
+      (Pmem.Palloc.of_region (Pmem.Palloc.region a)) in
+  P.check_invariants t2;
+  Alcotest.(check int) "count preserved" 300 (P.count t2)
+
+let test_var_keys () =
+  let a = fresh_alloc () in
+  let t = PV.create ~m:8 a in
+  for i = 1 to 200 do
+    ignore (PV.insert t (Printf.sprintf "pk%04d" i) i)
+  done;
+  PV.check_invariants t;
+  Alcotest.(check (option int)) "find" (Some 77) (PV.find t "pk0077");
+  Alcotest.(check bool) "delete" true (PV.delete t "pk0077");
+  Alcotest.(check (option int)) "gone" None (PV.find t "pk0077");
+  let leaks = Pmem.Palloc.leaked_blocks a ~reachable:(PV.reachable_blocks t) in
+  Alcotest.(check (list int)) "no leaks" [] leaks
+
+let test_probes_linear_vs_fptree () =
+  (* PTree must probe significantly more keys per find than the
+     fingerprinted FPTree at the same leaf size. *)
+  let run create =
+    let a = fresh_alloc () in
+    let t = create a in
+    t
+  in
+  let p = run (P.create ~m:32) in
+  for i = 1 to 2000 do
+    ignore (P.insert p i i)
+  done;
+  P.reset_stats p;
+  for i = 1 to 2000 do
+    ignore (P.find p i)
+  done;
+  let ptree_probes = (P.stats p).Tree.key_probes in
+  let f =
+    let a = fresh_alloc () in
+    Fptree.Fixed.create ~config:{ Tree.fptree_config with Tree.m = 32 } a
+  in
+  for i = 1 to 2000 do
+    ignore (Fptree.Fixed.insert f i i)
+  done;
+  Fptree.Fixed.reset_stats f;
+  for i = 1 to 2000 do
+    ignore (Fptree.Fixed.find f i)
+  done;
+  let fptree_probes = (Fptree.Fixed.stats f).Tree.key_probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "PTree probes ~m/2 per find (%d vs %d)" ptree_probes
+       fptree_probes)
+    true
+    (ptree_probes > 5 * fptree_probes)
+
+let qcheck_model =
+  QCheck.Test.make ~name:"ptree model equivalence" ~count:40
+    QCheck.(list (pair (int_bound 150) (int_bound 3)))
+    (fun ops ->
+      Scm.Registry.clear ();
+      Scm.Config.reset ();
+      let a = Pmem.Palloc.create ~size:(32 * 1024 * 1024) () in
+      let t = P.create ~m:4 a in
+      let m = Hashtbl.create 64 in
+      List.iteri
+        (fun i (k, op) ->
+          match op with
+          | 0 -> if P.insert t k i then Hashtbl.replace m k i
+          | 1 -> if P.delete t k then Hashtbl.remove m k
+          | 2 -> if P.update t k (i * 3) then Hashtbl.replace m k (i * 3)
+          | _ -> ignore (P.find t k))
+        ops;
+      P.check_invariants t;
+      let ok = ref (P.count t = Hashtbl.length m) in
+      for k = 0 to 150 do
+        if P.find t k <> Hashtbl.find_opt m k then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "ptree"
+    [
+      ( "ptree",
+        [
+          Alcotest.test_case "config" `Quick test_layout_has_no_fingerprints;
+          Alcotest.test_case "basic ops" `Quick test_basic_ops;
+          Alcotest.test_case "recovery" `Quick test_recovery;
+          Alcotest.test_case "var keys" `Quick test_var_keys;
+          Alcotest.test_case "linear probing cost" `Quick test_probes_linear_vs_fptree;
+          QCheck_alcotest.to_alcotest qcheck_model;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+(* Per-module unit tests for the fptree library internals: fingerprint
+   math, leaf layout geometry, in-leaf bitmaps, micro-logs and their
+   slot pool, and the DRAM inner-node structure. *)
+
+let fresh_region ?(size = 1024 * 1024) () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Registry.create ~size
+
+(* ---- fingerprints ---- *)
+
+let test_fingerprint_range () =
+  for i = -1000 to 1000 do
+    let h = Fptree.Fingerprint.of_int i in
+    if h < 0 || h > 255 then Alcotest.failf "fingerprint %d out of range" h
+  done;
+  let h = Fptree.Fingerprint.of_string "hello" in
+  Alcotest.(check bool) "string fp in range" true (h >= 0 && h <= 255)
+
+let test_fingerprint_deterministic () =
+  Alcotest.(check int) "int fp deterministic" (Fptree.Fingerprint.of_int 42)
+    (Fptree.Fingerprint.of_int 42);
+  Alcotest.(check int) "string fp deterministic"
+    (Fptree.Fingerprint.of_string "abc")
+    (Fptree.Fingerprint.of_string "abc");
+  Alcotest.(check bool) "different keys usually differ" true
+    (Fptree.Fingerprint.of_int 1 <> Fptree.Fingerprint.of_int 2
+    || Fptree.Fingerprint.of_int 3 <> Fptree.Fingerprint.of_int 4)
+
+let test_fingerprint_uniformity () =
+  (* chi-square-ish sanity: each of the 256 buckets gets roughly n/256 *)
+  let n = 256_000 in
+  let counts = Array.make 256 0 in
+  for i = 1 to n do
+    let h = Fptree.Fingerprint.of_int i in
+    counts.(h) <- counts.(h) + 1
+  done;
+  Array.iteri
+    (fun b c ->
+      if c < 500 || c > 1500 then
+        Alcotest.failf "bucket %d badly skewed: %d (expect ~1000)" b c)
+    counts
+
+let test_expected_probe_formulas () =
+  (* the paper's reference points: m=32 -> FPTree 1, wBTree 5, NV 16.5 *)
+  Alcotest.(check bool) "fptree(32) ~ 1" true
+    (Fptree.Fingerprint.expected_probes_fptree 32 < 1.1);
+  Alcotest.(check (float 0.01)) "wbtree(32) = 5" 5.
+    (Fptree.Fingerprint.expected_probes_wbtree 32);
+  Alcotest.(check (float 0.01)) "nvtree(32) = 16.5" 16.5
+    (Fptree.Fingerprint.expected_probes_nvtree 32);
+  (* fingerprinting needs < 2 probes up to m ~ 400 (Section 4.2) *)
+  Alcotest.(check bool) "fptree(400) < 2" true
+    (Fptree.Fingerprint.expected_probes_fptree 400 < 2.);
+  (* the crossover the paper places at m ~ 4096: binary search wins
+     somewhere between 4096 and 8192 *)
+  Alcotest.(check bool) "fptree(8192) > wbtree(8192)" true
+    (Fptree.Fingerprint.expected_probes_fptree 8192
+    > Fptree.Fingerprint.expected_probes_wbtree 8192);
+  Alcotest.(check bool) "fptree(2048) < wbtree(2048)" true
+    (Fptree.Fingerprint.expected_probes_fptree 2048
+    < Fptree.Fingerprint.expected_probes_wbtree 2048)
+
+(* ---- leaf layout ---- *)
+
+let test_layout_first_cacheline () =
+  (* m = 56, 8-byte keys: fingerprints + bitmap + lock fit in line 0,
+     the property the paper designs for *)
+  let l =
+    Fptree.Layout.make ~m:56 ~key_bytes:8 ~value_bytes:8 ~fingerprints:true
+      ~split_arrays:false
+  in
+  Alcotest.(check int) "fingerprints at 0" 0 l.Fptree.Layout.fp_off;
+  Alcotest.(check int) "bitmap right after fps" 56 l.Fptree.Layout.bitmap_off;
+  Alcotest.(check bool) "lock still in line 0" true (l.Fptree.Layout.lock_off < 65);
+  Alcotest.(check bool) "entries 8-aligned" true (l.Fptree.Layout.data_off mod 8 = 0)
+
+let test_layout_geometry_variants () =
+  List.iter
+    (fun (m, kb, vb, fp, sa) ->
+      let l =
+        Fptree.Layout.make ~m ~key_bytes:kb ~value_bytes:vb ~fingerprints:fp
+          ~split_arrays:sa
+      in
+      (* key/value cells are in bounds and non-overlapping *)
+      for s = 0 to m - 1 do
+        let k = Fptree.Layout.key_off l ~leaf:0 ~slot:s in
+        let v = Fptree.Layout.value_off l ~leaf:0 ~slot:s in
+        if k < l.Fptree.Layout.data_off || v + vb > l.Fptree.Layout.bytes then
+          Alcotest.failf "cell out of bounds (m=%d kb=%d vb=%d)" m kb vb;
+        if (not sa) && v <> k + kb then
+          Alcotest.failf "interleaved value not after key"
+      done)
+    [
+      (4, 8, 8, true, false); (64, 8, 8, true, false); (56, 16, 8, true, false);
+      (32, 8, 8, false, true); (32, 16, 112, false, true); (8, 8, 48, true, false);
+    ]
+
+let test_layout_validation () =
+  let mk m kb vb =
+    ignore
+      (Fptree.Layout.make ~m ~key_bytes:kb ~value_bytes:vb ~fingerprints:true
+         ~split_arrays:false)
+  in
+  Alcotest.check_raises "m too big" (Invalid_argument "Layout.make: m must be in [2, 64]")
+    (fun () -> mk 65 8 8);
+  Alcotest.check_raises "bad value width"
+    (Invalid_argument "Layout.make: value_bytes must be a positive multiple of 8")
+    (fun () -> mk 8 8 12);
+  Alcotest.check_raises "bad key cell"
+    (Invalid_argument "Layout.make: key cell must be 8 or 16 bytes") (fun () ->
+      mk 8 24 8)
+
+let test_bitmap_ops () =
+  let l =
+    Fptree.Layout.make ~m:8 ~key_bytes:8 ~value_bytes:8 ~fingerprints:true
+      ~split_arrays:false
+  in
+  Alcotest.(check int) "full mask" 0xff (Fptree.Layout.full_mask l);
+  Alcotest.(check int) "count" 3 (Fptree.Layout.bitmap_count 0b10101);
+  Alcotest.(check bool) "full" true (Fptree.Layout.bitmap_is_full l 0xff);
+  Alcotest.(check bool) "not full" false (Fptree.Layout.bitmap_is_full l 0x7f);
+  Alcotest.(check (option int)) "first zero" (Some 1)
+    (Fptree.Layout.find_first_zero l 0b101);
+  Alcotest.(check (option int)) "no zero" None
+    (Fptree.Layout.find_first_zero l 0xff);
+  let l64 =
+    Fptree.Layout.make ~m:64 ~key_bytes:8 ~value_bytes:8 ~fingerprints:true
+      ~split_arrays:false
+  in
+  Alcotest.(check int) "m=64 full mask is all ones" (-1) (Fptree.Layout.full_mask l64)
+
+let test_bitmap_commit_is_atomic () =
+  let r = fresh_region () in
+  let l =
+    Fptree.Layout.make ~m:8 ~key_bytes:8 ~value_bytes:8 ~fingerprints:true
+      ~split_arrays:false
+  in
+  Fptree.Layout.commit_bitmap r ~leaf:0 l 0b1010;
+  Scm.Config.schedule_crash_after 1;
+  (try Fptree.Layout.commit_bitmap r ~leaf:0 l 0b1111
+   with Scm.Config.Crash_injected -> ());
+  Scm.Config.disarm_crash ();
+  Scm.Region.crash r;
+  Alcotest.(check int) "crashed commit fully reverted" 0b1010
+    (Fptree.Layout.read_bitmap r ~leaf:0 l)
+
+(* ---- micro-logs ---- *)
+
+let test_microlog_fields () =
+  let r = fresh_region () in
+  let log = Fptree.Microlog.make r 0 in
+  Alcotest.(check bool) "idle initially" true (Fptree.Microlog.is_idle log);
+  let p = Pmem.Pptr.of_region r ~off:4096 in
+  Fptree.Microlog.set_fst log p;
+  Fptree.Microlog.set_snd log p;
+  Alcotest.(check bool) "armed" false (Fptree.Microlog.is_idle log);
+  Alcotest.(check bool) "fst round-trips" true
+    (Pmem.Pptr.equal p (Fptree.Microlog.read_fst log));
+  Fptree.Microlog.reset log;
+  Alcotest.(check bool) "idle after reset" true (Fptree.Microlog.is_idle log);
+  Alcotest.(check bool) "snd cleared" true
+    (Pmem.Pptr.is_null (Fptree.Microlog.read_snd log))
+
+let test_microlog_alignment_enforced () =
+  let r = fresh_region () in
+  Alcotest.check_raises "unaligned log rejected"
+    (Invalid_argument "Microlog.make: log must be cache-line aligned") (fun () ->
+      ignore (Fptree.Microlog.make r 8))
+
+let test_microlog_crash_atomicity () =
+  (* at any crash point, the armed flag (fst) is null or a valid ptr *)
+  let p_off = 4096 in
+  for n = 1 to 4 do
+    let r = fresh_region () in
+    let log = Fptree.Microlog.make r 0 in
+    Scm.Config.schedule_crash_after n;
+    (try
+       Fptree.Microlog.set_fst log (Pmem.Pptr.of_region r ~off:p_off);
+       Fptree.Microlog.set_snd log (Pmem.Pptr.of_region r ~off:(p_off * 2))
+     with Scm.Config.Crash_injected -> ());
+    Scm.Config.disarm_crash ();
+    Scm.Region.crash r;
+    let f = Fptree.Microlog.read_fst log in
+    if not (Pmem.Pptr.is_null f) then
+      Alcotest.(check int) (Printf.sprintf "crash@%d: fst valid" n) p_off
+        f.Pmem.Pptr.off
+  done
+
+let test_microlog_pool () =
+  let r = fresh_region () in
+  let logs = Array.init 4 (fun i -> Fptree.Microlog.make r (i * 64)) in
+  let pool = Fptree.Microlog.Pool.create logs in
+  let a = Fptree.Microlog.Pool.acquire pool in
+  let b = Fptree.Microlog.Pool.acquire pool in
+  let c = Fptree.Microlog.Pool.acquire pool in
+  let d = Fptree.Microlog.Pool.acquire pool in
+  Alcotest.(check bool) "four distinct slots" true
+    (a != b && a != c && a != d && b != c && b != d && c != d);
+  Fptree.Microlog.Pool.release pool b;
+  let b' = Fptree.Microlog.Pool.acquire pool in
+  Alcotest.(check bool) "released slot is reusable" true (b' == b)
+
+let test_microlog_pool_concurrent () =
+  let r = fresh_region () in
+  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  let logs = Array.init 8 (fun i -> Fptree.Microlog.make r (i * 64)) in
+  let pool = Fptree.Microlog.Pool.create logs in
+  let in_use = Array.make 8 (Atomic.make 0) in
+  Array.iteri (fun i _ -> in_use.(i) <- Atomic.make 0) in_use;
+  let overlap = Atomic.make 0 in
+  let idx_of log =
+    let rec go i = if logs.(i) == log then i else go (i + 1) in
+    go 0
+  in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5_000 do
+              let log = Fptree.Microlog.Pool.acquire pool in
+              let i = idx_of log in
+              if Atomic.fetch_and_add in_use.(i) 1 <> 0 then Atomic.incr overlap;
+              ignore (Atomic.fetch_and_add in_use.(i) (-1));
+              Fptree.Microlog.Pool.release pool log
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no slot handed to two holders" 0 (Atomic.get overlap)
+
+(* ---- inner nodes ---- *)
+
+let mk_leaves n = Array.init n (fun i -> ((i + 1) * 10, Fptree.Inner.leaf_ref i))
+
+let test_inner_rebuild_and_route () =
+  let leaves = mk_leaves 100 in
+  let t = Fptree.Inner.rebuild ~fanout:8 ~dummy_key:min_int leaves in
+  (* key k routes to the first leaf whose max (= (i+1)*10) >= k *)
+  for k = 1 to 1100 do
+    let l = Fptree.Inner.find_leaf Int.compare t.Fptree.Inner.root k in
+    let expect = min 99 (((k + 9) / 10) - 1) in
+    if l.Fptree.Inner.off <> expect then
+      Alcotest.failf "key %d routed to leaf %d (expect %d)" k l.Fptree.Inner.off
+        expect
+  done;
+  Alcotest.(check bool) "multiple levels" true (Fptree.Inner.height t.Fptree.Inner.root >= 2)
+
+let test_inner_update_parents_splits () =
+  let t =
+    Fptree.Inner.create ~fanout:4 ~dummy_key:min_int (Fptree.Inner.leaf_ref 0)
+  in
+  (* register right siblings 1..20 with separators 10,20,... *)
+  for i = 1 to 20 do
+    Fptree.Inner.update_parents t Int.compare ~sep:(i * 10)
+      ~right:(Fptree.Inner.leaf_ref i)
+  done;
+  (* routing: key 95 -> leaf 9 (covers (90,100]); key 5 -> leaf 0 *)
+  let route k = (Fptree.Inner.find_leaf Int.compare t.Fptree.Inner.root k).Fptree.Inner.off in
+  Alcotest.(check int) "low key" 0 (route 5);
+  Alcotest.(check int) "mid key (90,100] -> leaf 9" 9 (route 95);
+  Alcotest.(check int) "exact separator (80,90] -> leaf 8" 8 (route 90);
+  Alcotest.(check int) "high key" 20 (route 9999);
+  Alcotest.(check bool) "tree grew" true (Fptree.Inner.height t.Fptree.Inner.root >= 2)
+
+let test_inner_find_leaf_and_prev () =
+  let leaves = mk_leaves 10 in
+  let t = Fptree.Inner.rebuild ~fanout:4 ~dummy_key:min_int leaves in
+  let l, prev = Fptree.Inner.find_leaf_and_prev Int.compare t.Fptree.Inner.root 35 in
+  Alcotest.(check int) "leaf for 35" 3 l.Fptree.Inner.off;
+  (match prev with
+  | Some p -> Alcotest.(check int) "prev leaf" 2 p.Fptree.Inner.off
+  | None -> Alcotest.fail "expected a previous leaf");
+  let _, prev0 = Fptree.Inner.find_leaf_and_prev Int.compare t.Fptree.Inner.root 1 in
+  Alcotest.(check bool) "leftmost has no prev" true (prev0 = None)
+
+let test_inner_remove_leaf () =
+  let leaves = mk_leaves 10 in
+  let t = Fptree.Inner.rebuild ~fanout:4 ~dummy_key:min_int leaves in
+  Fptree.Inner.remove_leaf t Int.compare 35;
+  (* leaf 3 is gone; 35 now routes to leaf 4 (max 40) *)
+  let l = Fptree.Inner.find_leaf Int.compare t.Fptree.Inner.root 35 in
+  Alcotest.(check int) "routes to successor" 4 l.Fptree.Inner.off;
+  (* removing everything but one leaf keeps a routable structure *)
+  List.iter
+    (fun k -> Fptree.Inner.remove_leaf t Int.compare k)
+    [ 5; 15; 25; 45; 55; 65; 75; 85 ];
+  let l = Fptree.Inner.find_leaf Int.compare t.Fptree.Inner.root 1 in
+  Alcotest.(check int) "last leaf still reachable" 9 l.Fptree.Inner.off
+
+let test_inner_dram_accounting () =
+  let t = Fptree.Inner.rebuild ~fanout:16 ~dummy_key:min_int (mk_leaves 1000) in
+  let nodes = Fptree.Inner.inner_node_count t in
+  Alcotest.(check bool) "node count plausible" true (nodes > 70 && nodes < 120);
+  Alcotest.(check bool) "dram bytes positive" true
+    (Fptree.Inner.dram_bytes t ~key_bytes:8 > nodes * 100)
+
+(* ---- key modules ---- *)
+
+(* a scratch block whose payload hosts pointer cells owned by "the
+   data structure" (keeps the cells out of the allocator's header) *)
+let scratch_cells a =
+  Pmem.Palloc.alloc a ~into:(Pmem.Palloc.root_loc a) 64;
+  (Pmem.Palloc.root a).Pmem.Pptr.off
+
+let test_var_key_blocks () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:(1024 * 1024) () in
+  let ctx = { Fptree.Keys.region = Pmem.Palloc.region a; alloc = a } in
+  let scratch = scratch_cells a in
+  let cell = scratch in
+  Fptree.Keys.Var.write ctx ~off:cell "hello-world";
+  Alcotest.(check string) "read back" "hello-world" (Fptree.Keys.Var.read ctx ~off:cell);
+  Alcotest.(check bool) "matches" true (Fptree.Keys.Var.matches ctx ~off:cell "hello-world");
+  Alcotest.(check bool) "mismatch" false (Fptree.Keys.Var.matches ctx ~off:cell "hello");
+  (* move shares the block; reset_ref drops one reference *)
+  let cell2 = scratch + 16 in
+  Fptree.Keys.Var.move ctx ~src:cell ~dst:cell2;
+  Alcotest.(check string) "moved ref reads" "hello-world"
+    (Fptree.Keys.Var.read ctx ~off:cell2);
+  Fptree.Keys.Var.reset_ref ctx ~off:cell;
+  Alcotest.(check string) "reset cell reads empty" "" (Fptree.Keys.Var.read ctx ~off:cell);
+  Fptree.Keys.Var.dealloc ctx ~off:cell2;
+  Alcotest.(check (list int)) "block freed" []
+    (Pmem.Palloc.leaked_blocks a ~reachable:[ scratch ])
+
+let test_var_key_defensive_read () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:(1024 * 1024) () in
+  let ctx = { Fptree.Keys.region = Pmem.Palloc.region a; alloc = a } in
+  let scratch = scratch_cells a in
+  (* a garbage pointer must read as "" rather than raise *)
+  Pmem.Pptr.write (Pmem.Palloc.region a) scratch
+    (Pmem.Pptr.make ~region_id:(Scm.Region.id (Pmem.Palloc.region a))
+       ~off:(1024 * 1024 - 8));
+  Alcotest.(check string) "out-of-range block reads empty" ""
+    (Fptree.Keys.Var.read ctx ~off:scratch)
+
+let () =
+  Alcotest.run "fptree-units"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "range" `Quick test_fingerprint_range;
+          Alcotest.test_case "deterministic" `Quick test_fingerprint_deterministic;
+          Alcotest.test_case "uniformity" `Quick test_fingerprint_uniformity;
+          Alcotest.test_case "expected-probe formulas" `Quick test_expected_probe_formulas;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "first cache line" `Quick test_layout_first_cacheline;
+          Alcotest.test_case "geometry variants" `Quick test_layout_geometry_variants;
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+          Alcotest.test_case "bitmap ops" `Quick test_bitmap_ops;
+          Alcotest.test_case "bitmap commit atomicity" `Quick test_bitmap_commit_is_atomic;
+        ] );
+      ( "microlog",
+        [
+          Alcotest.test_case "fields" `Quick test_microlog_fields;
+          Alcotest.test_case "alignment enforced" `Quick test_microlog_alignment_enforced;
+          Alcotest.test_case "crash atomicity" `Quick test_microlog_crash_atomicity;
+          Alcotest.test_case "slot pool" `Quick test_microlog_pool;
+          Alcotest.test_case "slot pool concurrent" `Quick test_microlog_pool_concurrent;
+        ] );
+      ( "inner",
+        [
+          Alcotest.test_case "rebuild and route" `Quick test_inner_rebuild_and_route;
+          Alcotest.test_case "update_parents splits" `Quick test_inner_update_parents_splits;
+          Alcotest.test_case "find leaf and prev" `Quick test_inner_find_leaf_and_prev;
+          Alcotest.test_case "remove leaf" `Quick test_inner_remove_leaf;
+          Alcotest.test_case "dram accounting" `Quick test_inner_dram_accounting;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "var key blocks" `Quick test_var_key_blocks;
+          Alcotest.test_case "defensive reads" `Quick test_var_key_defensive_read;
+        ] );
+    ]

@@ -1,0 +1,60 @@
+(* Tests of the workload generators. *)
+
+let test_zipf_skew () =
+  let z = Workloads.Zipf.create ~n:1000 ~seed:7 () in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 100_000 do
+    let i = Workloads.Zipf.next z in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "item 0 is hottest" true (counts.(0) > counts.(500));
+  Alcotest.(check bool) "head heavier than tail" true
+    (counts.(0) + counts.(1) + counts.(2) > 3 * counts.(999) + 1);
+  (* all draws in range *)
+  Alcotest.(check int) "total preserved" 100_000 (Array.fold_left ( + ) 0 counts)
+
+let test_zipf_deterministic () =
+  let draw () =
+    let z = Workloads.Zipf.create ~n:100 ~seed:13 () in
+    List.init 50 (fun _ -> Workloads.Zipf.next z)
+  in
+  Alcotest.(check (list int)) "seeded generator is deterministic" (draw ()) (draw ())
+
+let test_permutation () =
+  let p = Workloads.Keygen.permutation ~seed:5 1000 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true (sorted = Array.init 1000 Fun.id);
+  let p2 = Workloads.Keygen.permutation ~seed:5 1000 in
+  Alcotest.(check bool) "deterministic" true (p = p2);
+  let p3 = Workloads.Keygen.permutation ~seed:6 1000 in
+  Alcotest.(check bool) "seed-dependent" true (p <> p3)
+
+let test_string_keys () =
+  Alcotest.(check int) "16-byte key" 16 (String.length (Workloads.Keygen.string_key_16 42));
+  Alcotest.(check string) "stable form" "k000000000000042" (Workloads.Keygen.string_key_16 42);
+  Alcotest.(check int) "custom length" 24 (String.length (Workloads.Keygen.string_key ~len:24 7));
+  (* order-preserving for fixed width *)
+  Alcotest.(check bool) "lexicographic = numeric" true
+    (Workloads.Keygen.string_key_16 5 < Workloads.Keygen.string_key_16 50)
+
+let test_domain_pool () =
+  let acc = Atomic.make 0 in
+  let secs = Workloads.Domain_pool.run ~domains:3 (fun d -> Atomic.fetch_and_add acc (d + 1) |> ignore) in
+  Alcotest.(check int) "all workers ran" 6 (Atomic.get acc);
+  Alcotest.(check bool) "time measured" true (secs >= 0.);
+  let lo, hi = Workloads.Domain_pool.slice ~domains:4 ~total:103 3 in
+  Alcotest.(check (pair int int)) "last slice takes remainder" (75, 103) (lo, hi)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zipf deterministic" `Quick test_zipf_deterministic;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "string keys" `Quick test_string_keys;
+          Alcotest.test_case "domain pool" `Quick test_domain_pool;
+        ] );
+    ]

@@ -13,17 +13,17 @@ let single () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
   Scm.Stats.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- true;
-  Scm.Config.current.Scm.Config.delay_injection <- false
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats true;
+  Scm.Config.set_delay_injection false
 
 let parallel ~latency_ns =
   Scm.Registry.clear ();
   Scm.Config.reset ();
   Scm.Stats.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false;
-  Scm.Config.current.Scm.Config.delay_injection <- latency_ns > 90.;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false;
+  Scm.Config.set_delay_injection (latency_ns > 90.);
   Scm.Config.set_latency ~read_ns:latency_ns ()
 
 (* scaled dataset sizes: --scale multiplies the defaults *)

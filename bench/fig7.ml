@@ -93,7 +93,7 @@ let run_recovery_family ~title ~names ~make ~key_of =
         ~cell:(fun r name ->
           let size = int_of_string r in
           Env.single ();
-          Scm.Config.current.Scm.Config.delay_injection <- lat > 90.;
+          Scm.Config.set_delay_injection (lat > 90.);
           Scm.Config.set_latency ~read_ns:lat ();
           let t : _ Trees.handle = make name in
           let keys = Workloads.Keygen.permutation ~seed:3 size in

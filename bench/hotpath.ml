@@ -1,0 +1,283 @@
+(** Hot-path microbenchmark: before/after perf trajectory for the
+    fast-mode SCM accessors and the allocation-free tree operations.
+
+    Measures wall-clock throughput of insert / find / update / delete /
+    range on the single-threaded FPTree at [scale * 1M] keys, in two
+    simulator modes:
+
+    - [fast]: stats, crash tracking and delay injection all off — the
+      configuration of the paper's throughput experiments (Figs 7-10);
+    - [instrumented]: SCM access counting on (modeled-time runs).
+
+    plus a concurrent find/mixed run at 1 and N domains, and two fixed
+    op traces whose instrumented counters (line reads / flushes /
+    fences) pin the simulator's accounting across refactors.
+
+    Emits hotpath_run.json (override with HOTPATH_OUT; tag the run
+    with HOTPATH_LABEL).  Per-op minor-heap words are reported so
+    allocation regressions on the hot paths are visible. *)
+
+module F = Fptree.Fixed
+
+type run = {
+  mode : string;
+  domains : int;
+  op : string;
+  ops : int;
+  secs : float;
+  mops : float;
+  minor_words_per_op : float;
+}
+
+let runs : run list ref = ref []
+
+let record ~mode ~domains ~op ~ops f =
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let secs = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let r =
+    {
+      mode;
+      domains;
+      op;
+      ops;
+      secs;
+      mops = (float_of_int ops /. secs /. 1e6);
+      minor_words_per_op = (mw /. float_of_int (max 1 ops));
+    }
+  in
+  runs := r :: !runs;
+  Printf.printf "  %-12s %-10s d=%-2d %8.3f Mops/s  (%7.3fs, %6.1f minor w/op)\n"
+    mode op domains r.mops secs r.minor_words_per_op;
+  flush stdout
+
+(* ---- single-threaded suite (one tree per mode) ---- *)
+
+let single_suite ~mode n =
+  let a = Pmem.Palloc.create ~size:(512 * 1024 * 1024) () in
+  let t = F.create_single a in
+  let ins = Workloads.Keygen.permutation ~seed:101 n in
+  let probe = Workloads.Keygen.permutation ~seed:102 n in
+  record ~mode ~domains:1 ~op:"insert" ~ops:n (fun () ->
+      Array.iter (fun k -> ignore (F.insert t (2 * k) k)) ins);
+  record ~mode ~domains:1 ~op:"find" ~ops:n (fun () ->
+      Array.iter (fun k -> ignore (F.find t (2 * k))) probe);
+  record ~mode ~domains:1 ~op:"find_miss" ~ops:n (fun () ->
+      Array.iter (fun k -> ignore (F.find t ((2 * k) + 1))) probe);
+  record ~mode ~domains:1 ~op:"update" ~ops:n (fun () ->
+      Array.iter (fun k -> ignore (F.update t (2 * k) (k + 1))) probe);
+  let scans = max 100 (n / 1000) in
+  let span = 200 in
+  record ~mode ~domains:1 ~op:"range" ~ops:scans (fun () ->
+      let rng = Random.State.make [| 103 |] in
+      for _ = 1 to scans do
+        let lo = 2 * Random.State.int rng (max 1 (n - span)) in
+        ignore (F.range t ~lo ~hi:(lo + (2 * span)))
+      done);
+  record ~mode ~domains:1 ~op:"delete" ~ops:(n / 2) (fun () ->
+      for i = 0 to (n / 2) - 1 do
+        ignore (F.delete t (2 * ins.(i)))
+      done)
+
+(* ---- concurrent suite (find and 50/50 mixed, 1 and N domains) ---- *)
+
+let concurrent_suite n =
+  let domains_list =
+    let avail = Workloads.Domain_pool.available_domains () in
+    if avail >= 4 then [ 1; 4 ] else [ 1; max 2 avail ]
+  in
+  List.iter
+    (fun domains ->
+      let a = Pmem.Palloc.create ~size:(512 * 1024 * 1024) () in
+      let t = F.create_concurrent a in
+      let warm = n in
+      for i = 0 to warm - 1 do
+        ignore (F.insert t (2 * i) i)
+      done;
+      let secs =
+        Workloads.Domain_pool.run ~domains (fun d ->
+            let lo, hi = Workloads.Domain_pool.slice ~domains ~total:n d in
+            let rng = Random.State.make [| 7; d |] in
+            for _ = lo to hi - 1 do
+              ignore (F.find t (2 * Random.State.int rng warm))
+            done)
+      in
+      runs :=
+        { mode = "fast"; domains; op = "conc_find"; ops = n; secs;
+          mops = (float_of_int n /. secs /. 1e6); minor_words_per_op = nan }
+        :: !runs;
+      Printf.printf "  %-12s %-10s d=%-2d %8.3f Mops/s  (%7.3fs)\n" "fast"
+        "conc_find" domains
+        (float_of_int n /. secs /. 1e6)
+        secs;
+      let secs =
+        Workloads.Domain_pool.run ~domains (fun d ->
+            let lo, hi = Workloads.Domain_pool.slice ~domains ~total:n d in
+            let rng = Random.State.make [| 8; d |] in
+            for j = lo to hi - 1 do
+              if j land 1 = 0 then ignore (F.find t (2 * Random.State.int rng warm))
+              else ignore (F.insert t ((2 * j) + 1) j)
+            done)
+      in
+      runs :=
+        { mode = "fast"; domains; op = "conc_mixed"; ops = n; secs;
+          mops = (float_of_int n /. secs /. 1e6); minor_words_per_op = nan }
+        :: !runs;
+      Printf.printf "  %-12s %-10s d=%-2d %8.3f Mops/s  (%7.3fs)\n" "fast"
+        "conc_mixed" domains
+        (float_of_int n /. secs /. 1e6)
+        secs)
+    domains_list
+
+(* ---- fixed op traces: instrumented counters must not drift ---- *)
+
+type trace_counters = {
+  trace : string;
+  line_reads : int;
+  line_writes : int;
+  flushes : int;
+  fences : int;
+  persists : int;
+  key_probes : int;
+  leaf_deletes : int;
+}
+
+let traces : trace_counters list ref = ref []
+
+let counter_trace ~trace f =
+  Env.single ();
+  Scm.Stats.reset ();
+  let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+  let t = F.create_single a in
+  f t;
+  let s = Scm.Stats.snapshot () in
+  let st = F.stats t in
+  let tc =
+    {
+      trace;
+      line_reads = s.Scm.Stats.line_reads;
+      line_writes = s.Scm.Stats.line_writes;
+      flushes = s.Scm.Stats.flushes;
+      fences = s.Scm.Stats.fences;
+      persists = s.Scm.Stats.persists;
+      key_probes = st.Fptree.Tree.key_probes;
+      leaf_deletes = st.Fptree.Tree.leaf_deletes;
+    }
+  in
+  traces := tc :: !traces;
+  Printf.printf
+    "  trace %-12s reads=%d writes=%d flushes=%d fences=%d persists=%d \
+     probes=%d leaf_deletes=%d\n"
+    trace tc.line_reads tc.line_writes tc.flushes tc.fences tc.persists
+    tc.key_probes tc.leaf_deletes;
+  flush stdout
+
+let core_trace t =
+  let n = 20_000 in
+  let ins = Workloads.Keygen.permutation ~seed:201 n in
+  Array.iter (fun k -> ignore (F.insert t (2 * k) k)) ins;
+  let probe = Workloads.Keygen.permutation ~seed:202 n in
+  Array.iter (fun k -> ignore (F.find t (2 * k))) probe;
+  for i = 0 to (n / 2) - 1 do
+    ignore (F.update t (2 * probe.(i)) i)
+  done;
+  (* scattered deletes: 10% of the keys, far below the density that
+     would empty a leaf, so no group frees occur in this trace *)
+  for i = 0 to (n / 10) - 1 do
+    ignore (F.delete t (2 * ins.(i)))
+  done;
+  let rng = Random.State.make [| 203 |] in
+  for _ = 1 to 200 do
+    let lo = 2 * Random.State.int rng n in
+    ignore (F.range t ~lo ~hi:(lo + 400))
+  done
+
+(* Deletes every key: exercises whole-leaf deletes and group frees.
+   (The delete_leaf double micro-log reset fixed in this PR makes this
+   trace cheaper by exactly 4 persists per leaf delete.) *)
+let delete_heavy_trace t =
+  let n = 20_000 in
+  let ins = Workloads.Keygen.permutation ~seed:204 n in
+  Array.iter (fun k -> ignore (F.insert t (2 * k) k)) ins;
+  let del = Workloads.Keygen.permutation ~seed:205 n in
+  Array.iter (fun k -> ignore (F.delete t (2 * k))) del
+
+(* ---- JSON ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json path ~label ~n =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"label\": \"%s\",\n" (json_escape label);
+  Printf.bprintf b "  \"keys\": %d,\n" n;
+  Printf.bprintf b "  \"runs\": [\n";
+  let runs = List.rev !runs in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"mode\": \"%s\", \"domains\": %d, \"op\": \"%s\", \"ops\": %d, \
+         \"secs\": %.4f, \"mops\": %.4f, \"minor_words_per_op\": %s}%s\n"
+        r.mode r.domains r.op r.ops r.secs r.mops
+        (if Float.is_nan r.minor_words_per_op then "null"
+         else Printf.sprintf "%.2f" r.minor_words_per_op)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b "  \"instrumented_counter_traces\": [\n";
+  let traces = List.rev !traces in
+  List.iteri
+    (fun i t ->
+      Printf.bprintf b
+        "    {\"trace\": \"%s\", \"line_reads\": %d, \"line_writes\": %d, \
+         \"flushes\": %d, \"fences\": %d, \"persists\": %d, \"key_probes\": \
+         %d, \"leaf_deletes\": %d}%s\n"
+        t.trace t.line_reads t.line_writes t.flushes t.fences t.persists
+        t.key_probes t.leaf_deletes
+        (if i = List.length traces - 1 then "" else ","))
+    traces;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+(* ---- entry point ---- *)
+
+let run () =
+  Report.heading "Hot-path microbenchmark (fast vs instrumented mode)";
+  let n = Env.scaled 1_000_000 in
+  let label =
+    match Sys.getenv_opt "HOTPATH_LABEL" with Some l -> l | None -> "current"
+  in
+  let out =
+    (* Default away from BENCH_hotpath.json: that committed artifact
+       combines a before and an after run and must not be clobbered by
+       a casual bench invocation. *)
+    match Sys.getenv_opt "HOTPATH_OUT" with
+    | Some p -> p
+    | None -> "hotpath_run.json"
+  in
+  (* fast mode: the paper's throughput configuration (Figs 7-10) *)
+  Env.parallel ~latency_ns:90.;
+  single_suite ~mode:"fast" n;
+  (* instrumented mode: access counting on (modeled-time runs) *)
+  Env.single ();
+  single_suite ~mode:"instrumented" n;
+  (* concurrency: wall-clock mode, 1 and N domains *)
+  Env.parallel ~latency_ns:90.;
+  concurrent_suite (max 100_000 (n / 2));
+  (* counter-pinning traces *)
+  counter_trace ~trace:"core" core_trace;
+  counter_trace ~trace:"delete_heavy" delete_heavy_trace;
+  emit_json out ~label ~n

@@ -7,7 +7,7 @@ open Toolkit
 
 let make_tests () =
   Env.single ();
-  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.set_stats false;
   let n = Env.scaled 50_000 in
   let tests =
     List.concat_map

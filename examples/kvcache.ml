@@ -4,8 +4,8 @@
    Run with:  dune exec examples/kvcache.exe *)
 
 let () =
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false;
   let arena = Pmem.Palloc.create ~size:(256 * 1024 * 1024) () in
   let cache =
     Kvstore.Cache.create

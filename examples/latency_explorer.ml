@@ -31,7 +31,7 @@ let profile name n f =
 
 let () =
   Scm.Config.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.set_crash_tracking false;
   let arena = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
   let tree = Fptree.Fixed.create_single arena in
   let n = 50_000 in

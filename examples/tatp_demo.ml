@@ -5,8 +5,8 @@
    Run with:  dune exec examples/tatp_demo.exe *)
 
 let () =
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false;
   let subscribers = 10_000 in
   let clients = Workloads.Domain_pool.available_domains () in
   Printf.printf "TATP prototype DB: %d subscribers, %d clients\n%!" subscribers

@@ -46,14 +46,18 @@ let create ~fanout ~dummy_key first_leaf =
   t
 
 (** First index i in [0, nkeys) with key <= keys.(i); nkeys if none:
-    the child to descend into. *)
-let child_index cmp (n : 'k inner) key =
-  let lo = ref 0 and hi = ref n.nkeys in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if cmp key n.keys.(mid) <= 0 then hi := mid else lo := mid + 1
-  done;
-  !lo
+    the child to descend into.  (A top-level recursive function over
+    plain arguments: this runs on every level of every operation, and
+    without flambda a local [let rec] capturing [cmp]/[n]/[key] — or a
+    [ref]-based loop — would be a minor-heap allocation per call.) *)
+let rec bsearch cmp (n : 'k inner) key lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if cmp key n.keys.(mid) <= 0 then bsearch cmp n key lo mid
+    else bsearch cmp n key (mid + 1) hi
+
+let child_index cmp (n : 'k inner) key = bsearch cmp n key 0 n.nkeys
 
 (** Descend to the leaf responsible for [key]. *)
 let rec find_leaf cmp node key =
@@ -84,14 +88,13 @@ let find_leaf_and_prev cmp root key =
 
 (* ---- structural updates (run under the writer lock) ---- *)
 
-(* Insert (key, right) just after [pos] in [n]; caller guarantees room. *)
+(* Insert (key, right) just after [pos] in [n]; caller guarantees room.
+   Array.blit (memmove) rather than an element loop: nodes hold up to
+   fanout - 1 = 4096 keys, and a split shifts half of them on average,
+   so this is the dominant cost of propagating a leaf split upward. *)
 let insert_at n pos key right =
-  for i = n.nkeys downto pos + 1 do
-    n.keys.(i) <- n.keys.(i - 1)
-  done;
-  for i = n.nkeys + 1 downto pos + 2 do
-    n.children.(i) <- n.children.(i - 1)
-  done;
+  Array.blit n.keys pos n.keys (pos + 1) (n.nkeys - pos);
+  Array.blit n.children (pos + 1) n.children (pos + 2) (n.nkeys - pos);
   n.keys.(pos) <- key;
   n.children.(pos + 1) <- right;
   n.nkeys <- n.nkeys + 1
@@ -151,12 +154,8 @@ let update_parents t cmp ~sep ~right =
 let remove_at n pos =
   (* Remove children.(pos) and the separator adjacent to it. *)
   let kpos = if pos = 0 then 0 else pos - 1 in
-  for i = kpos to n.nkeys - 2 do
-    n.keys.(i) <- n.keys.(i + 1)
-  done;
-  for i = pos to n.nkeys - 1 do
-    n.children.(i) <- n.children.(i + 1)
-  done;
+  Array.blit n.keys (kpos + 1) n.keys kpos (n.nkeys - 1 - kpos);
+  Array.blit n.children (pos + 1) n.children pos (n.nkeys - pos);
   n.nkeys <- n.nkeys - 1;
   (* Drop the stale trailing reference so DRAM is not retained. *)
   n.children.(n.nkeys + 1) <- Leaf (leaf_ref (-1))

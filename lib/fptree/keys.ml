@@ -79,12 +79,12 @@ module Fixed : KEY with type t = int = struct
   let compare = Int.compare
   let fingerprint = Fingerprint.of_int
   let dram_bytes _ = 8
-  let read ctx ~off = Int64.to_int (Scm.Region.read_int64 ctx.region off)
-  let write ctx ~off k = Scm.Region.write_int64 ctx.region off (Int64.of_int k)
+  let read ctx ~off = Scm.Region.read_word ctx.region off
+  let write ctx ~off k = Scm.Region.write_word ctx.region off k
   let matches ctx ~off k = read ctx ~off = k
   let cell_ref _ ~off:_ = None
   let move ctx ~src ~dst =
-    Scm.Region.write_int64 ctx.region dst (Scm.Region.read_int64 ctx.region src)
+    Scm.Region.write_word ctx.region dst (Scm.Region.read_word ctx.region src)
   let reset_ref _ ~off:_ = ()
   let clear_cell _ ~off:_ = ()
   let dealloc _ ~off:_ = ()

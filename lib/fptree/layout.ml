@@ -65,12 +65,12 @@ let value_off t ~leaf ~slot =
 let full_mask t =
   if t.m = 64 then -1 else (1 lsl t.m) - 1
 
-let read_bitmap r ~leaf t = Int64.to_int (Scm.Region.read_int64 r (leaf + t.bitmap_off))
+let read_bitmap r ~leaf t = Scm.Region.read_word r (leaf + t.bitmap_off)
 
 (** Atomically publish a new validity bitmap and persist it: the single
     point at which an insert/delete/update becomes visible and durable. *)
 let commit_bitmap r ~leaf t bm =
-  Scm.Region.write_int64_atomic r (leaf + t.bitmap_off) (Int64.of_int bm);
+  Scm.Region.write_word_atomic r (leaf + t.bitmap_off) bm;
   Scm.Region.persist r (leaf + t.bitmap_off) 8
 
 let bitmap_count bm =
@@ -80,13 +80,32 @@ let bitmap_count bm =
 let bitmap_is_full t bm = bm land full_mask t = full_mask t
 
 (** Index of the first zero bit, or [None] when the leaf is full. *)
+(* Lowest clear bit of the usable bitmap, or -1: isolate the lowest
+   zero with two bit operations, then take its log2 — no loop, no
+   allocation (the insert hot path runs this once per operation).
+   Must go through [full_mask]: for m = 64 the mask is [-1] (bits
+   0..62; OCaml ints have 63 bits, slot 63 is never used) and a naive
+   [(1 lsl m) - 1] would be 0. *)
+let first_zero t bm =
+  let z = lnot bm land full_mask t in
+  if z = 0 then -1
+  else
+    let b = z land -z in
+    let s5 = if b land 0xFFFFFFFF = 0 then 32 else 0 in
+    let b = b lsr s5 in
+    let s4 = if b land 0xFFFF = 0 then 16 else 0 in
+    let b = b lsr s4 in
+    let s3 = if b land 0xFF = 0 then 8 else 0 in
+    let b = b lsr s3 in
+    let s2 = if b land 0xF = 0 then 4 else 0 in
+    let b = b lsr s2 in
+    let s1 = if b land 0x3 = 0 then 2 else 0 in
+    let b = b lsr s1 in
+    let s0 = if b land 0x1 = 0 then 1 else 0 in
+    s5 + s4 + s3 + s2 + s1 + s0
+
 let find_first_zero t bm =
-  let rec go s =
-    if s >= t.m then None
-    else if bm land (1 lsl s) = 0 then Some s
-    else go (s + 1)
-  in
-  go 0
+  match first_zero t bm with -1 -> None | s -> Some s
 
 (* ---- fingerprints ---- *)
 

@@ -47,6 +47,11 @@ val bitmap_count : int -> int
 val bitmap_is_full : t -> int -> bool
 val find_first_zero : t -> int -> int option
 
+(** [first_zero t bm] is the lowest free slot in [bm], or [-1] if the
+    leaf is full — the allocation-free form of {!find_first_zero}
+    (insert runs it once per operation). *)
+val first_zero : t -> int -> int
+
 (** {1 Fingerprints} *)
 
 val read_fp : Scm.Region.t -> leaf:int -> t -> int -> int

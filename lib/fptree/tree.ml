@@ -32,9 +32,18 @@ type config = {
   htm_retries : int;
 }
 
-(** Single-threaded FPTree defaults (Table 1: leaf 56, inner 4096). *)
+(** Single-threaded FPTree defaults (Table 1: leaf 56).  The paper's
+    inner nodes hold 4096 keys — sized for C++ where inserting into a
+    sorted node is one [memmove].  In OCaml, [Array.blit] on a
+    major-heap node runs a GC write barrier per element, so each leaf
+    split pays ~2 barrier calls per shifted slot and 4096-wide nodes
+    make the inner shift the dominant cost of a split (measured ~12us
+    of a ~20us split at 4096 keys vs ~1.5us at 512).  The default is
+    therefore 512 keys — 4 KB of key material, the paper's inner-node
+    *byte* size — and Table 1's entry count remains available via
+    [~inner_keys:4096]. *)
 let fptree_config =
-  { m = 56; value_bytes = 8; inner_keys = 4096; fingerprints = true;
+  { m = 56; value_bytes = 8; inner_keys = 512; fingerprints = true;
     split_arrays = false; use_groups = true; group_size = 8;
     n_split_logs = 1; n_delete_logs = 1; htm_retries = 8 }
 
@@ -45,7 +54,8 @@ let fptree_concurrent_config =
     n_split_logs = 56; n_delete_logs = 56 }
 
 (** PTree: selective persistence + unsorted leaves only (Table 1:
-    leaf 32, inner 4096), keys and values in separate arrays. *)
+    leaf 32; inner width tuned as above), keys and values in separate
+    arrays. *)
 let ptree_config =
   { fptree_config with m = 32; fingerprints = false; split_arrays = true;
     use_groups = false }
@@ -59,6 +69,20 @@ type stats = {
   mutable leaf_splits : int;
   mutable leaf_deletes : int;
 }
+
+(** Node of the volatile free-leaf pool: an intrusive circular
+    doubly-linked list with a sentinel, so that [free_group] can evict
+    one group's leaves in O(group_size) instead of filtering the whole
+    pool, while keeping the exact LIFO order of the original list. *)
+type free_node = {
+  fl_leaf : int;
+  mutable fl_prev : free_node;
+  mutable fl_next : free_node;
+}
+
+let free_sentinel () =
+  let rec s = { fl_leaf = -1; fl_prev = s; fl_next = s } in
+  s
 
 module Make (K : Keys.KEY) = struct
   type key = K.t
@@ -75,9 +99,15 @@ module Make (K : Keys.KEY) = struct
     getleaf_log : Microlog.t;
     freeleaf_log : Microlog.t;
     (* volatile leaf-group bookkeeping (single-threaded mode) *)
-    mutable free_leaves : int list;
+    free_head : free_node;                  (* sentinel of the free-leaf pool *)
+    mutable n_free : int;                   (* pool size, maintained *)
+    free_nodes : (int, free_node) Hashtbl.t; (* leaf off -> pool node *)
     leaf_group : (int, int) Hashtbl.t;      (* leaf off -> group off *)
     group_free : (int, int ref) Hashtbl.t;  (* group off -> #free leaves *)
+    (* scratch for find_split_key (single-threaded mode only: concurrent
+       splits of distinct leaves may overlap, so they allocate fresh) *)
+    scratch_keys : K.t array;
+    scratch_slots : int array;
     stats : stats;
   }
 
@@ -139,60 +169,94 @@ module Make (K : Keys.KEY) = struct
   let value_cell t leaf slot = Layout.value_off t.layout ~leaf ~slot
 
   let read_value t leaf slot =
-    Int64.to_int (Region.read_int64 (region t) (value_cell t leaf slot))
+    Region.read_word (region t) (value_cell t leaf slot)
 
   let read_key t leaf slot = K.read t.ctx ~off:(key_cell t leaf slot)
 
-  (** Find the slot holding [k]: scan the fingerprints first, probe keys
-      only on a fingerprint hit (Algorithm 1's inner loop).  The whole
-      fingerprint array is loaded with one access — it occupies the
-      first cache-line-sized piece of the leaf by design. *)
+  (* Exact SWAR zero-byte detector over a 4-lane 32-bit word: bit
+     [8i + 7] of the result is set iff byte [i] of [y] is zero.  (The
+     classic [(v - ONES) land (lnot v) land HIGHS] trick has cross-lane
+     false positives — e.g. 0x0100 — which would inflate the key-probe
+     counter; this formula is exact.) *)
+  let[@inline] zero_byte_mask32 y =
+    lnot (((y land 0x7f7f7f7f) + 0x7f7f7f7f) lor y lor 0x7f7f7f7f)
+    land 0x80808080
+
+  (* Spread bitmap nibble bits 0..3 onto the per-lane high-bit
+     positions 7, 15, 23, 31. *)
+  let[@inline] spread4 b =
+    ((b land 1) * 0x80)
+    lor ((b land 2) * 0x4000)
+    lor ((b land 4) * 0x200000)
+    lor ((b land 8) * 0x10000000)
+
+  (** Find the slot holding [k], or [-1]: scan the fingerprints first,
+      probe keys only on a fingerprint hit (Algorithm 1's inner loop).
+      The fingerprint array occupies the first cache-line-sized piece
+      of the leaf by design, so the scan touches one line.  Fingerprint
+      bytes are compared four at a time with a SWAR XOR trick instead
+      of byte-at-a-time extraction; 32-bit halves (not 64-bit words)
+      because OCaml ints are 63-bit and would truncate lane 7.
+      Candidates are taken lowest-slot-first, so the sequence of key
+      probes — and hence the instrumented [key_probes] counter — is
+      identical to a linear scan.  Returns an [int] rather than an
+      option: this is the hot path of every operation and must not
+      allocate. *)
+  (* The scan loops are top-level recursive functions over explicit
+     arguments, not local [let rec]s: a local recursive function that
+     captures its environment is a minor-heap closure allocation per
+     call without flambda, and this is the innermost hot loop. *)
+  (* [bm] arrives pre-shifted: the nibble for half-word [hw] sits at
+     its low 4 bits, so the scan terminates at the top occupied nibble
+     (bm = 0) and skips unoccupied nibbles without loading their
+     fingerprint word.  Neither shortcut changes the probe sequence or
+     the lines touched: skipped words have no candidate slots, and the
+     fingerprint array shares its cache line(s) with the bitmap word
+     already read by [find_slot]. *)
+  let rec fp_scan t leaf k h bm hw =
+    if bm = 0 then -1
+    else
+      let nib = spread4 (bm land 0xF) in
+      if nib = 0 then fp_scan t leaf k h (bm lsr 4) (hw + 1)
+      else
+        let w =
+          Region.read_u32 (region t) (leaf + t.layout.Layout.fp_off + (hw * 4))
+        in
+        fp_probe t leaf k h bm hw
+          (zero_byte_mask32 (w lxor (h * 0x01010101)) land nib)
+
+  and fp_probe t leaf k h bm hw cand =
+    if cand = 0 then fp_scan t leaf k h (bm lsr 4) (hw + 1)
+    else begin
+      let bit = cand land -cand in
+      let lane =
+        if bit = 0x80 then 0
+        else if bit = 0x8000 then 1
+        else if bit = 0x800000 then 2
+        else 3
+      in
+      let s = (hw * 4) + lane in
+      if stats_on () then t.stats.key_probes <- t.stats.key_probes + 1;
+      if K.matches t.ctx ~off:(key_cell t leaf s) k then s
+      else fp_probe t leaf k h bm hw (cand lxor bit)
+    end
+
+  let rec lin_scan t leaf k bm s =
+    if s >= t.layout.Layout.m then -1
+    else if bm land (1 lsl s) <> 0 then begin
+      if stats_on () then t.stats.key_probes <- t.stats.key_probes + 1;
+      if K.matches t.ctx ~off:(key_cell t leaf s) k then s
+      else lin_scan t leaf k bm (s + 1)
+    end
+    else lin_scan t leaf k bm (s + 1)
+
   let find_slot t leaf k h =
     let bm = leaf_bitmap t leaf in
-    if bm = 0 then None
-    else if t.layout.Layout.fingerprints then begin
-      (* Scan the fingerprint array a word at a time (allocation-free:
-         stop-the-world minor collections would serialize concurrent
-         readers); bytes are extracted in registers. *)
-      let r = region t in
-      let m = t.layout.Layout.m in
-      let fp_base = leaf + t.layout.Layout.fp_off in
-      let words = (m + 7) / 8 in
-      let rec scan_word wi =
-        if wi >= words then None
-        else begin
-          let w = Region.read_int64 r (fp_base + (wi * 8)) in
-          let rec scan_byte j =
-            if j >= 8 then scan_word (wi + 1)
-            else
-              let s = (wi * 8) + j in
-              if
-                s < m
-                && bm land (1 lsl s) <> 0
-                && Int64.to_int (Int64.shift_right_logical w (j * 8)) land 0xff = h
-              then begin
-                if stats_on () then
-                  t.stats.key_probes <- t.stats.key_probes + 1;
-                if K.matches t.ctx ~off:(key_cell t leaf s) k then Some s
-                else scan_byte (j + 1)
-              end
-              else scan_byte (j + 1)
-          in
-          scan_byte 0
-        end
-      in
-      scan_word 0
-    end
-    else
-      let rec go s =
-        if s >= t.layout.Layout.m then None
-        else if bm land (1 lsl s) <> 0 then begin
-          if stats_on () then t.stats.key_probes <- t.stats.key_probes + 1;
-          if K.matches t.ctx ~off:(key_cell t leaf s) k then Some s else go (s + 1)
-        end
-        else go (s + 1)
-      in
-      go 0
+    if bm = 0 then -1
+    else if t.layout.Layout.fingerprints then
+      (* slots >= m can never be candidates *)
+      fp_scan t leaf k h (bm land Layout.full_mask t.layout) 0
+    else lin_scan t leaf k bm 0
 
   (** Write entry [k, v] into free slot [slot] and persist it; the entry
       stays invisible until the bitmap is committed (Algorithm 2,
@@ -202,7 +266,7 @@ module Make (K : Keys.KEY) = struct
     let koff = key_cell t leaf slot in
     let voff = value_cell t leaf slot in
     K.write t.ctx ~off:koff k;
-    Region.write_int64 r voff (Int64.of_int v);
+    Region.write_word r voff v;
     if t.layout.Layout.value_bytes > 8 then
       Region.fill r (voff + 8) (t.layout.Layout.value_bytes - 8) '\000';
     (if t.layout.Layout.split_arrays then begin
@@ -239,9 +303,28 @@ module Make (K : Keys.KEY) = struct
       Hashtbl.replace t.leaf_group l g
     done
 
+  (* Push at the head: same LIFO discipline as the original cons list. *)
   let add_free_leaf t l =
-    t.free_leaves <- l :: t.free_leaves;
+    let s = t.free_head in
+    let n = { fl_leaf = l; fl_prev = s; fl_next = s.fl_next } in
+    s.fl_next.fl_prev <- n;
+    s.fl_next <- n;
+    Hashtbl.replace t.free_nodes l n;
+    t.n_free <- t.n_free + 1;
     incr (Hashtbl.find t.group_free (Hashtbl.find t.leaf_group l))
+
+  let unlink_free_node t n =
+    n.fl_prev.fl_next <- n.fl_next;
+    n.fl_next.fl_prev <- n.fl_prev;
+    Hashtbl.remove t.free_nodes n.fl_leaf;
+    t.n_free <- t.n_free - 1
+
+  let clear_free_pool t =
+    let s = t.free_head in
+    s.fl_next <- s;
+    s.fl_prev <- s;
+    Hashtbl.reset t.free_nodes;
+    t.n_free <- 0
 
   (* Append group [g] to the persistent group list; idempotent so that
      recovery can redo it. *)
@@ -255,7 +338,7 @@ module Make (K : Keys.KEY) = struct
   (** GetLeaf (Algorithm 10): take a free leaf, allocating and linking a
       fresh group of [group_size] leaves when the pool is empty. *)
   let get_leaf t =
-    if t.free_leaves = [] then begin
+    if t.n_free = 0 then begin
       let log = t.getleaf_log in
       Pmem.Palloc.alloc (alloc t) ~into:(Microlog.fst_loc log) (group_bytes t);
       let g = (Microlog.read_fst log).Pptr.off in
@@ -267,12 +350,12 @@ module Make (K : Keys.KEY) = struct
         add_free_leaf t (group_leaf t g i)
       done
     end;
-    match t.free_leaves with
-    | [] -> assert false
-    | l :: rest ->
-      t.free_leaves <- rest;
-      decr (Hashtbl.find t.group_free (Hashtbl.find t.leaf_group l));
-      l
+    let n = t.free_head.fl_next in
+    assert (n != t.free_head);
+    unlink_free_node t n;
+    let l = n.fl_leaf in
+    decr (Hashtbl.find t.group_free (Hashtbl.find t.leaf_group l));
+    l
 
   let recover_getleaf t =
     let log = t.getleaf_log in
@@ -301,9 +384,15 @@ module Make (K : Keys.KEY) = struct
 
   (* Unlink and deallocate a fully-free group (Algorithm 12). *)
   let free_group t g =
-    t.free_leaves <- List.filter (fun l -> Hashtbl.find t.leaf_group l <> g) t.free_leaves;
+    (* Evict this group's leaves from the pool in O(group_size); unlinking
+       preserves the relative order of the survivors, exactly like the
+       List.filter this replaces. *)
     for i = 0 to t.config.group_size - 1 do
-      Hashtbl.remove t.leaf_group (group_leaf t g i)
+      let l = group_leaf t g i in
+      (match Hashtbl.find_opt t.free_nodes l with
+      | Some n -> unlink_free_node t n
+      | None -> ());
+      Hashtbl.remove t.leaf_group l
     done;
     Hashtbl.remove t.group_free g;
     let log = t.freeleaf_log in
@@ -357,23 +446,100 @@ module Make (K : Keys.KEY) = struct
 
   (* ---- leaf split (Algorithm 3) ---- *)
 
+  (* In-place binary-insertion sort of parallel arrays by key; [aux]
+     entries ride along.  n <= m <= 64 and every [K.compare] is an
+     indirect call through the functor, so the binary search keeps the
+     comparison count at n log n while the shifts — plain array moves —
+     stay the cheap part.  Beats both a plain insertion sort (n^2/4
+     compares) and a general sort with its closure calls. *)
+  let sort_by_key keys aux n =
+    for i = 1 to n - 1 do
+      let k = keys.(i) and a = aux.(i) in
+      (* position for k in the sorted prefix [0, i) *)
+      let lo = ref 0 and hi = ref i in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if K.compare keys.(mid) k > 0 then hi := mid else lo := mid + 1
+      done;
+      let pos = !lo in
+      Array.blit keys pos keys (pos + 1) (i - pos);
+      Array.blit aux pos aux (pos + 1) (i - pos);
+      keys.(pos) <- k;
+      aux.(pos) <- a
+    done
+
+  (* Indices are always within [0, n) with n <= the scratch length, so
+     the bounds checks are dead weight on the split path. *)
+  let swap2 keys aux i j =
+    let k = Array.unsafe_get keys i in
+    Array.unsafe_set keys i (Array.unsafe_get keys j);
+    Array.unsafe_set keys j k;
+    let a = Array.unsafe_get aux i in
+    Array.unsafe_set aux i (Array.unsafe_get aux j);
+    Array.unsafe_set aux j a
+
+  (* Quickselect (median-of-3 + Lomuto) over the parallel arrays: on
+     return, keys.(r) is the rank-[r] key, everything left of it is
+     smaller and everything right of it larger (keys are unique).  A
+     split only needs the median and the upper half, so selection in
+     O(n) replaces the full O(n^2) insertion sort — with the indirect
+     [K.compare] calls a functor forces, sorting m = 56 keys was the
+     single most expensive step of a split.  Median-of-3 keeps the
+     common sorted-leaf case (ascending inserts) linear. *)
+  let rec select_rank keys aux lo hi r =
+    if lo < hi then begin
+      let mid = (lo + hi) / 2 in
+      if K.compare (Array.unsafe_get keys mid) (Array.unsafe_get keys lo) < 0
+      then swap2 keys aux lo mid;
+      if K.compare (Array.unsafe_get keys hi) (Array.unsafe_get keys lo) < 0
+      then swap2 keys aux lo hi;
+      if K.compare (Array.unsafe_get keys hi) (Array.unsafe_get keys mid) < 0
+      then swap2 keys aux mid hi;
+      (* keys.(mid) holds the median of three; park it at hi as pivot. *)
+      swap2 keys aux mid hi;
+      let p = Array.unsafe_get keys hi in
+      let store = ref lo in
+      for i = lo to hi - 1 do
+        if K.compare (Array.unsafe_get keys i) p < 0 then begin
+          swap2 keys aux i !store;
+          incr store
+        end
+      done;
+      swap2 keys aux !store hi;
+      let s = !store in
+      if r < s then select_rank keys aux lo (s - 1) r
+      else if r > s then select_rank keys aux (s + 1) hi r
+    end
+
   (* Median discriminator and the bitmap of entries that move to the
-     new (upper) leaf. *)
+     new (upper) leaf.  Uses the tree's scratch arrays in
+     single-threaded mode; concurrent splits of distinct leaves may
+     overlap, so they take fresh arrays. *)
   let find_split_key t leaf =
     let bm = leaf_bitmap t leaf in
-    let entries = ref [] in
-    for s = 0 to t.layout.Layout.m - 1 do
-      if bm land (1 lsl s) <> 0 then entries := (read_key t leaf s, s) :: !entries
-    done;
-    let sorted = List.sort (fun (a, _) (b, _) -> K.compare a b) !entries in
-    let n = List.length sorted in
-    let sep = fst (List.nth sorted ((n - 1) / 2)) in
-    let upper =
-      List.fold_left
-        (fun acc (k, s) -> if K.compare k sep > 0 then acc lor (1 lsl s) else acc)
-        0 sorted
+    let keys, slots =
+      if t.config.use_groups then (t.scratch_keys, t.scratch_slots)
+      else (Array.make t.layout.Layout.m K.dummy, Array.make t.layout.Layout.m 0)
     in
-    (sep, upper)
+    let n = ref 0 in
+    for s = 0 to t.layout.Layout.m - 1 do
+      if bm land (1 lsl s) <> 0 then begin
+        Array.unsafe_set keys !n (read_key t leaf s);
+        Array.unsafe_set slots !n s;
+        incr n
+      end
+    done;
+    let n = !n in
+    let r = (n - 1) / 2 in
+    select_rank keys slots 0 (n - 1) r;
+    let sep = Array.unsafe_get keys r in
+    (* Unique keys: after selection, exactly the positions right of the
+       median hold the keys strictly greater than [sep]. *)
+    let upper = ref 0 in
+    for i = r + 1 to n - 1 do
+      upper := !upper lor (1 lsl Array.unsafe_get slots i)
+    done;
+    (sep, !upper)
 
   (* After the bitmaps partition a split leaf, unset slots in both
      halves still hold byte copies of out-of-line key pointers; the
@@ -466,14 +632,19 @@ module Make (K : Keys.KEY) = struct
        Layout.write_next_persist (region t) ~leaf:p.Inner.off t.layout
          (leaf_next t leaf.Inner.off)
      end);
-    if t.config.use_groups then begin
-      (* The leaf is unlinked; its storage is managed by the group
-         machinery, which has its own micro-log. *)
-      Microlog.reset log;
-      free_leaf t leaf.Inner.off
-    end
-    else Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
-    Microlog.reset log;
+    (if t.config.use_groups then begin
+       (* The leaf is unlinked; its storage is managed by the group
+          machinery, which has its own micro-log.  Retire this log
+          BEFORE entering it, and only once: the previous code reset it
+          a second time afterwards, costing 4 redundant
+          flush+fence+line-write sequences per whole-leaf delete. *)
+       Microlog.reset log;
+       free_leaf t leaf.Inner.off
+     end
+     else begin
+       Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
+       Microlog.reset log
+     end);
     Microlog.Pool.release t.delete_logs log
 
   let recover_delete t log =
@@ -507,48 +678,194 @@ module Make (K : Keys.KEY) = struct
   (* ---- speculative-section helpers ---- *)
 
   (* Acquire the leaf responsible for [k] with its lock held, via a
-     speculative transaction (steps 1–2 of Figure 6). *)
-  let lock_leaf_for t k =
-    Spec.with_txn t.spec ~on_rollback:unlock (fun () ->
-        let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
-        if try_lock leaf then Spec.Commit leaf else Spec.Abort)
+     speculative transaction (steps 1–2 of Figure 6).  Driven through
+     the raw seqlock primitives rather than [Spec.with_txn]: the
+     closure and outcome constructors the latter allocates per call
+     put minor-GC pressure on every writer operation.  The protocol is
+     the same: a successful [try_lock] that fails validation is rolled
+     back ([unlock]) and retried; a failed [try_lock] is an explicit
+     abort; after the retry threshold the real mutex is taken, with
+     explicit aborts releasing and reacquiring it (Algorithm 1). *)
+  let rec lock_attempt t k attempt =
+    if attempt >= Spec.retry_threshold t.spec then lock_leaf_fallback t k
+    else
+      let v0 = Spec.read_begin t.spec in
+      if v0 < 0 then begin
+        Spec.note_abort t.spec;
+        Spec.relax ();
+        lock_attempt t k (attempt + 1)
+      end
+      else
+        match Inner.find_leaf K.compare t.inner.Inner.root k with
+        | exception e ->
+          (* Trust the exception only if no writer raced us. *)
+          if Spec.read_validate t.spec v0 then raise e
+          else begin
+            Spec.note_conflict t.spec;
+            Spec.note_abort t.spec;
+            Spec.relax ();
+            lock_attempt t k (attempt + 1)
+          end
+        | leaf ->
+          if try_lock leaf then
+            if Spec.read_validate t.spec v0 then leaf
+            else begin
+              unlock leaf;
+              Spec.note_conflict t.spec;
+              Spec.note_abort t.spec;
+              Spec.relax ();
+              lock_attempt t k (attempt + 1)
+            end
+          else begin
+            if not (Spec.read_validate t.spec v0) then
+              Spec.note_conflict t.spec;
+            Spec.note_abort t.spec;
+            Spec.relax ();
+            lock_attempt t k (attempt + 1)
+          end
+
+  and lock_leaf_fallback t k =
+    Spec.lock_fallback t.spec;
+    lock_leaf_fallback_locked t k
+
+  and lock_leaf_fallback_locked t k =
+    let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
+    if try_lock leaf then begin
+      Spec.unlock_fallback t.spec;
+      leaf
+    end
+    else begin
+      Spec.unlock_fallback t.spec;
+      Spec.relax ();
+      Spec.relock_fallback t.spec;
+      lock_leaf_fallback_locked t k
+    end
+
+  let lock_leaf_for t k = lock_attempt t k 0
 
   (* ---- base operations ---- *)
 
-  let find t k =
-    if stats_on () then t.stats.finds <- t.stats.finds + 1;
-    let h = K.fingerprint k in
-    Spec.with_txn t.spec (fun () ->
+  (* Allocation-free find core: the same speculative protocol as
+     [Spec.with_txn], driven through the raw seqlock primitives so that
+     no closure, option, or outcome constructor is allocated.  Raises
+     [Not_found] (a constant constructor — allocation-free) on a miss.
+     Mirrors with_txn's semantics: a leaf locked or a moved version is
+     an abort; an exception during speculation is trusted only if the
+     version still validates. *)
+  let rec find_attempt t k h attempt =
+    if attempt >= Spec.retry_threshold t.spec then find_fallback t k h
+    else
+      let v0 = Spec.read_begin t.spec in
+      if v0 < 0 then begin
+        (* A writer is inside: the elided lock is busy. *)
+        Spec.note_abort t.spec;
+        Spec.relax ();
+        find_attempt t k h (attempt + 1)
+      end
+      else
         let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
-        if is_locked leaf then Spec.Abort
+        if is_locked leaf then begin
+          if not (Spec.read_validate t.spec v0) then Spec.note_conflict t.spec;
+          Spec.note_abort t.spec;
+          Spec.relax ();
+          find_attempt t k h (attempt + 1)
+        end
         else begin
-          let res =
-            match find_slot t leaf.Inner.off k h with
-            | Some s -> Some (read_value t leaf.Inner.off s)
-            | None -> None
-          in
-          (* The leaf was quiescent for the whole probe only if its lock
-             is still free (a writer flips it before touching content). *)
-          if is_locked leaf then Spec.Abort else Spec.Commit res
-        end)
+          match find_slot t leaf.Inner.off k h with
+          | exception e ->
+            if Spec.read_validate t.spec v0 then raise e
+            else begin
+              Spec.note_conflict t.spec;
+              Spec.note_abort t.spec;
+              Spec.relax ();
+              find_attempt t k h (attempt + 1)
+            end
+          | s ->
+            let v = if s >= 0 then read_value t leaf.Inner.off s else 0 in
+            (* The leaf was quiescent for the whole probe only if no
+               writer committed and its lock is still free (a writer
+               flips it before touching content). *)
+            if not (Spec.read_validate t.spec v0) then begin
+              Spec.note_conflict t.spec;
+              Spec.note_abort t.spec;
+              Spec.relax ();
+              find_attempt t k h (attempt + 1)
+            end
+            else if is_locked leaf then begin
+              Spec.note_abort t.spec;
+              Spec.relax ();
+              find_attempt t k h (attempt + 1)
+            end
+            else if s >= 0 then v
+            else raise Not_found
+        end
+
+  and find_fallback t k h =
+    Spec.lock_fallback t.spec;
+    find_fallback_locked t k h
+
+  and find_fallback_locked t k h =
+    (* Under the real mutex; leaf locks can still be taken concurrently
+       by optimistic writer transactions, so an explicit abort releases
+       the mutex and reacquires it, as in the paper's Algorithm 1. *)
+    let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
+    if is_locked leaf then begin
+      Spec.unlock_fallback t.spec;
+      Spec.relax ();
+      Spec.relock_fallback t.spec;
+      find_fallback_locked t k h
+    end
+    else begin
+      match find_slot t leaf.Inner.off k h with
+      | exception e ->
+        Spec.unlock_fallback t.spec;
+        raise e
+      | s ->
+        let v = if s >= 0 then read_value t leaf.Inner.off s else 0 in
+        if is_locked leaf then begin
+          Spec.unlock_fallback t.spec;
+          Spec.relax ();
+          Spec.relock_fallback t.spec;
+          find_fallback_locked t k h
+        end
+        else begin
+          Spec.unlock_fallback t.spec;
+          if s >= 0 then v else raise Not_found
+        end
+    end
+
+  (** [find_value_exn t k] is the raw hot-path lookup: the value bound
+      to [k], or @raise Not_found.  Allocation-free in fast mode. *)
+  let find_value_exn t k =
+    if stats_on () then t.stats.finds <- t.stats.finds + 1;
+    find_attempt t k (K.fingerprint k) 0
+
+  (** [find_value t ~default k]: like {!find_value_exn} but total;
+      allocation-free in fast mode. *)
+  let find_value t ~default k =
+    match find_value_exn t k with v -> v | exception Not_found -> default
+
+  let find t k =
+    match find_value_exn t k with
+    | v -> Some v
+    | exception Not_found -> None
 
   let insert_into_nonfull t leaf k v h =
     let bm = leaf_bitmap t leaf in
-    match Layout.find_first_zero t.layout bm with
-    | None -> assert false
-    | Some slot ->
-      write_entry t leaf slot k v h;
-      Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot))
+    let slot = Layout.first_zero t.layout bm in
+    assert (slot >= 0);
+    write_entry t leaf slot k v h;
+    Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot))
 
   let insert t k v =
     if stats_on () then t.stats.inserts <- t.stats.inserts + 1;
     let h = K.fingerprint k in
     let leaf = lock_leaf_for t k in
-    match find_slot t leaf.Inner.off k h with
-    | Some _ ->
+    if find_slot t leaf.Inner.off k h >= 0 then begin
       unlock leaf;
       false (* unique-key tree: duplicate insert is a no-op *)
-    | None ->
+    end
+    else begin
       if leaf_is_full t leaf.Inner.off then begin
         let sep, right = split_leaf t leaf in
         let target = if K.compare k sep <= 0 then leaf else right in
@@ -563,44 +880,40 @@ module Make (K : Keys.KEY) = struct
         unlock leaf;
         true
       end
+    end
 
   let update t k v =
     if stats_on () then t.stats.updates <- t.stats.updates + 1;
     let h = K.fingerprint k in
     let leaf = lock_leaf_for t k in
-    match find_slot t leaf.Inner.off k h with
-    | None ->
+    let prev_slot0 = find_slot t leaf.Inner.off k h in
+    if prev_slot0 < 0 then begin
       unlock leaf;
       false
-    | Some prev_slot ->
+    end
+    else begin
       (* Insert-after-delete published by a single p-atomic bitmap
          write (Algorithm 8 / 16). *)
       let target, prev_slot, did_split, sep_right =
         if leaf_is_full t leaf.Inner.off then begin
           let sep, right = split_leaf t leaf in
           let target = if K.compare k sep <= 0 then leaf else right in
-          let slot =
-            match find_slot t target.Inner.off k h with
-            | Some s -> s
-            | None -> assert false
-          in
+          let slot = find_slot t target.Inner.off k h in
+          assert (slot >= 0);
           (target, slot, true, Some (sep, right))
         end
-        else (leaf, prev_slot, false, None)
+        else (leaf, prev_slot0, false, None)
       in
       let tl = target.Inner.off in
       let bm = leaf_bitmap t tl in
-      let slot =
-        match Layout.find_first_zero t.layout bm with
-        | Some s -> s
-        | None -> assert false
-      in
+      let slot = Layout.first_zero t.layout bm in
+      assert (slot >= 0);
       let r = region t in
       if K.inline then write_entry t tl slot k v h
       else begin
         (* Var keys: reuse the existing key block (Algorithm 16). *)
         K.move t.ctx ~src:(key_cell t tl prev_slot) ~dst:(key_cell t tl slot);
-        Region.write_int64 r (value_cell t tl slot) (Int64.of_int v);
+        Region.write_word r (value_cell t tl slot) v;
         if t.layout.Layout.value_bytes > 8 then
           Region.fill r (value_cell t tl slot + 8)
             (t.layout.Layout.value_bytes - 8) '\000';
@@ -624,6 +937,7 @@ module Make (K : Keys.KEY) = struct
       | _ -> ());
       unlock leaf;
       true
+    end
 
   type delete_decision =
     | Del_in_leaf of Inner.leaf_ref
@@ -649,7 +963,7 @@ module Make (K : Keys.KEY) = struct
             let bm = leaf_bitmap t leaf.Inner.off in
             let single =
               Layout.bitmap_count bm = 1
-              && find_slot t leaf.Inner.off k h <> None
+              && find_slot t leaf.Inner.off k h >= 0
             in
             let sole =
               prev = None && Pptr.is_null (leaf_next t leaf.Inner.off)
@@ -667,36 +981,42 @@ module Make (K : Keys.KEY) = struct
           end)
     in
     match decision with
-    | Del_in_leaf leaf -> (
-      match find_slot t leaf.Inner.off k h with
-      | None ->
+    | Del_in_leaf leaf ->
+      let slot = find_slot t leaf.Inner.off k h in
+      if slot < 0 then begin
         unlock leaf;
         false
-      | Some slot ->
+      end
+      else begin
         let bm = leaf_bitmap t leaf.Inner.off in
         Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
           (bm land lnot (1 lsl slot));
         K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot);
         unlock leaf;
-        true)
+        true
+      end
     | Del_whole_leaf (leaf, prev) ->
       (* Var keys: clear the entry and free its key block first
          (Algorithm 15, lines 16–18). *)
-      (if not K.inline then
-         match find_slot t leaf.Inner.off k h with
-         | Some slot ->
-           let bm = leaf_bitmap t leaf.Inner.off in
-           Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
-             (bm land lnot (1 lsl slot));
-           K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot)
-         | None -> assert false);
+      (if not K.inline then begin
+         let slot = find_slot t leaf.Inner.off k h in
+         assert (slot >= 0);
+         let bm = leaf_bitmap t leaf.Inner.off in
+         Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
+           (bm land lnot (1 lsl slot));
+         K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot)
+       end);
       Spec.with_write t.spec (fun () -> Inner.remove_leaf t.inner K.compare k);
       delete_leaf t leaf prev;
       Option.iter unlock prev;
       true
 
   (** Inclusive range scan via the leaf linked list.  Reads are dirty
-      (no leaf locks taken); the result is sorted. *)
+      (no leaf locks taken); the result is sorted.  The leaf chain is
+      in key order, so sorting each (unsorted) leaf's hits in place and
+      appending them to a growable buffer yields a sorted result with
+      no global cons-then-sort pass — O(hits) buffer space and one
+      final list build instead of O(n log n) list churn. *)
   let range t ~lo ~hi =
     if K.compare lo hi > 0 then []
     else begin
@@ -704,28 +1024,61 @@ module Make (K : Keys.KEY) = struct
         Spec.with_txn t.spec (fun () ->
             Spec.Commit (Inner.find_leaf K.compare t.inner.Inner.root lo))
       in
-      let acc = ref [] in
+      let m = t.layout.Layout.m in
+      let cap = ref 64 in
+      let ks = ref (Array.make !cap K.dummy) in
+      let vs = ref (Array.make !cap 0) in
+      let len = ref 0 in
+      (* per-leaf scratch for the in-leaf sort *)
+      let lk = Array.make m K.dummy in
+      let lv = Array.make m 0 in
       let rec walk leaf =
         let bm = leaf_bitmap t leaf in
         let any_le_hi = ref false in
         let nonempty = bm <> 0 in
-        for s = 0 to t.layout.Layout.m - 1 do
+        let nhits = ref 0 in
+        for s = 0 to m - 1 do
           if bm land (1 lsl s) <> 0 then begin
             let k = read_key t leaf s in
             if K.compare k hi <= 0 then begin
               any_le_hi := true;
-              if K.compare lo k <= 0 then
-                acc := (k, read_value t leaf s) :: !acc
+              if K.compare lo k <= 0 then begin
+                lk.(!nhits) <- k;
+                lv.(!nhits) <- read_value t leaf s;
+                incr nhits
+              end
             end
           end
         done;
+        let nhits = !nhits in
+        sort_by_key lk lv nhits;
+        if !len + nhits > !cap then begin
+          let cap' = max (!cap * 2) (!len + nhits) in
+          let ks' = Array.make cap' K.dummy in
+          let vs' = Array.make cap' 0 in
+          Array.blit !ks 0 ks' 0 !len;
+          Array.blit !vs 0 vs' 0 !len;
+          ks := ks';
+          vs := vs';
+          cap := cap'
+        end;
+        Array.blit lk 0 !ks !len nhits;
+        Array.blit lv 0 !vs !len nhits;
+        len := !len + nhits;
         if nonempty && not !any_le_hi then ()
-        else
-          let next = leaf_next t leaf in
-          if not (Pptr.is_null next) then walk next.Pptr.off
+        else begin
+          (* probe the next pointer's words directly: no Pptr record *)
+          let noff = leaf + t.layout.Layout.next_off in
+          if not (Pptr.is_null_at (region t) noff) then
+            walk (Pptr.off_at (region t) noff)
+        end
       in
       walk start.Inner.off;
-      List.sort (fun (a, _) (b, _) -> K.compare a b) !acc
+      let ks = !ks and vs = !vs in
+      let rec build i acc =
+        if i < 0 then acc else build (i - 1) ((ks.(i), vs.(i)) :: acc)
+      in
+      build (!len - 1) []
     end
 
   (* ---- iteration / introspection ---- *)
@@ -758,10 +1111,12 @@ module Make (K : Keys.KEY) = struct
 
   let height t = Inner.height t.inner.Inner.root
 
-  (** DRAM footprint: inner nodes plus group bookkeeping. *)
+  (** DRAM footprint: inner nodes plus group bookkeeping.  The free
+      pool size is a maintained counter ([n_free]), not an O(n) list
+      traversal. *)
   let dram_bytes t =
     Inner.dram_bytes t.inner ~key_bytes:(K.dram_bytes K.dummy)
-    + (List.length t.free_leaves * 8)
+    + (t.n_free * 8)
     + (Hashtbl.length t.leaf_group * 16)
 
   (** SCM footprint of the tree's arena (live allocated bytes). *)
@@ -819,9 +1174,13 @@ module Make (K : Keys.KEY) = struct
       delete_logs = Microlog.Pool.create del;
       getleaf_log = getl;
       freeleaf_log = freel;
-      free_leaves = [];
+      free_head = free_sentinel ();
+      n_free = 0;
+      free_nodes = Hashtbl.create 64;
       leaf_group = Hashtbl.create 64;
       group_free = Hashtbl.create 16;
+      scratch_keys = Array.make layout.Layout.m K.dummy;
+      scratch_slots = Array.make layout.Layout.m 0;
       stats = fresh_stats ();
     }
 
@@ -943,7 +1302,7 @@ module Make (K : Keys.KEY) = struct
       Inner.rebuild ~fanout:(t.config.inner_keys + 1) ~dummy_key:K.dummy arr;
     (* Rebuild the volatile free-leaf pool from the group list. *)
     if t.config.use_groups then begin
-      t.free_leaves <- [];
+      clear_free_pool t;
       Hashtbl.reset t.leaf_group;
       Hashtbl.reset t.group_free;
       let rec scan p =

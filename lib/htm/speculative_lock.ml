@@ -106,6 +106,37 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
   in
   optimistic 0
 
+(* ---- raw optimistic-read primitives ---- *)
+
+(* The closure passed to [with_txn] is a minor-heap allocation per
+   call, and the [outcome]/[result] wrappers are more.  Allocation-free
+   hot paths (the tree's find) drive the same seqlock protocol through
+   these primitives instead; the semantics mirror [with_txn] exactly. *)
+
+let retry_threshold t = t.retry_threshold
+
+(** Snapshot the version word for an optimistic section; negative when
+    a writer is inside (the elided lock is busy — abort immediately). *)
+let read_begin t =
+  let v = Atomic.get t.version in
+  if v land 1 = 1 then -1 else v
+
+(** [true] iff no writer committed since {!read_begin} returned [v]. *)
+let read_validate t v = Atomic.get t.version = v
+
+let note_abort t = Atomic.incr t.aborts
+let note_conflict t = Atomic.incr t.conflicts
+let relax = cpu_relax
+
+(** Enter the fallback path: the real mutex, counted like [with_txn]'s
+    fallback.  The caller must pair it with {!unlock_fallback}. *)
+let lock_fallback t =
+  Atomic.incr t.fallbacks;
+  Mutex.lock t.fallback
+
+let relock_fallback t = Mutex.lock t.fallback
+let unlock_fallback t = Mutex.unlock t.fallback
+
 (** Run [f] as a writing transaction.  Writers to the transient
     structure always serialize on the mutex and invalidate concurrent
     optimistic readers via the version word.  (On real TSX small

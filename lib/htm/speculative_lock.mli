@@ -32,6 +32,27 @@ val with_txn : ?on_rollback:('a -> unit) -> t -> (unit -> 'a outcome) -> 'a
     optimistic readers. *)
 val with_write : t -> (unit -> 'a) -> 'a
 
+(** {1 Raw optimistic-read primitives}
+
+    Closure-free building blocks of the same protocol [with_txn]
+    implements, for allocation-free hot paths: snapshot with
+    {!read_begin} (negative = writer inside, abort), run the read-only
+    body, accept its result only if {!read_validate} holds; after
+    {!retry_threshold} aborts take {!lock_fallback} and run the body
+    under the real mutex ({!relock_fallback} re-enters it after an
+    explicit abort released it).  Callers are responsible for the
+    retry loop and for undoing side effects on failed validation. *)
+
+val retry_threshold : t -> int
+val read_begin : t -> int
+val read_validate : t -> int -> bool
+val note_abort : t -> unit
+val note_conflict : t -> unit
+val relax : unit -> unit
+val lock_fallback : t -> unit
+val relock_fallback : t -> unit
+val unlock_fallback : t -> unit
+
 type stats = { aborts : int; conflicts : int; fallbacks : int }
 
 val stats : t -> stats

@@ -28,16 +28,23 @@ let resolve p =
 (* ---- storage in SCM: two consecutive little-endian int64 words ---- *)
 
 let read r off =
-  let region_id = Int64.to_int (Scm.Region.read_int64 r off) in
-  let o = Int64.to_int (Scm.Region.read_int64 r (off + 8)) in
+  let region_id = Scm.Region.read_word r off in
+  let o = Scm.Region.read_word r (off + 8) in
   { region_id; off = o }
+
+(** Non-allocating null probe: just the id word, no {!t} record. *)
+let is_null_at r off = Scm.Region.read_word r off = 0
+
+(** Non-allocating offset read (valid only when the pointer is not
+    null; the region id is not checked). *)
+let off_at r off = Scm.Region.read_word r (off + 8)
 
 (** Store [p] at [off] (volatile until persisted).  A 16-byte store is
     not p-atomic; callers needing atomicity must protect it with a
     micro-log, exactly as the paper's algorithms do. *)
 let write r off p =
-  Scm.Region.write_int64 r off (Int64.of_int p.region_id);
-  Scm.Region.write_int64 r (off + 8) (Int64.of_int p.off)
+  Scm.Region.write_word r off p.region_id;
+  Scm.Region.write_word r (off + 8) p.off
 
 let write_persist r off p =
   write r off p;
@@ -51,16 +58,16 @@ let write_persist r off p =
     cache line; our simulator is adversarial about unflushed words, so
     the ordering is made explicit.) *)
 let write_committed r off p =
-  Scm.Region.write_int64_atomic r (off + 8) (Int64.of_int p.off);
+  Scm.Region.write_word_atomic r (off + 8) p.off;
   Scm.Region.persist r (off + 8) 8;
-  Scm.Region.write_int64_atomic r off (Int64.of_int p.region_id);
+  Scm.Region.write_word_atomic r off p.region_id;
   Scm.Region.persist r off 8
 
 (** Crash-atomic retraction: null the id word first. *)
 let reset_committed r off =
-  Scm.Region.write_int64_atomic r off 0L;
+  Scm.Region.write_word_atomic r off 0;
   Scm.Region.persist r off 8;
-  Scm.Region.write_int64_atomic r (off + 8) 0L;
+  Scm.Region.write_word_atomic r (off + 8) 0;
   Scm.Region.persist r (off + 8) 8
 
 let pp ppf p =

@@ -52,14 +52,39 @@ let default () = {
 
 let current = default ()
 
+(* Bumped on every change to the instrumentation switches below.  Each
+   region captures (generation, fast?) as a witness when it is touched
+   and re-derives it only when the generation moved, so the hot-path
+   accessors pay one integer compare instead of re-reading the whole
+   configuration per access. *)
+let mode_generation = ref 1
+
+let set_stats b =
+  if current.stats <> b then begin
+    current.stats <- b;
+    incr mode_generation
+  end
+
+let set_crash_tracking b =
+  if current.crash_tracking <> b then begin
+    current.crash_tracking <- b;
+    incr mode_generation
+  end
+
+let set_delay_injection b =
+  if current.delay_injection <> b then begin
+    current.delay_injection <- b;
+    incr mode_generation
+  end
+
 let reset () =
   let d = default () in
   current.scm_read_ns <- d.scm_read_ns;
   current.scm_write_ns <- d.scm_write_ns;
   current.dram_read_ns <- d.dram_read_ns;
-  current.crash_tracking <- d.crash_tracking;
-  current.stats <- d.stats;
-  current.delay_injection <- d.delay_injection;
+  set_crash_tracking d.crash_tracking;
+  set_stats d.stats;
+  set_delay_injection d.delay_injection;
   current.crash_after_persists <- d.crash_after_persists;
   current.persist_count <- d.persist_count
 

@@ -27,8 +27,23 @@ type t = {
 
 val default : unit -> t
 
-(** The live configuration, read by every simulator operation. *)
+(** The live configuration, read by every simulator operation.
+
+    The instrumentation switches ([stats], [crash_tracking],
+    [delay_injection]) must be changed through the setters below, never
+    by direct field assignment: the setters bump {!mode_generation},
+    which is how regions learn that their cached fast/instrumented mode
+    witness is stale. *)
 val current : t
+
+(** Generation counter of the instrumentation switches; bumped by
+    {!set_stats}, {!set_crash_tracking}, {!set_delay_injection} and
+    {!reset}.  Read per-access by {!Region}'s mode witness check. *)
+val mode_generation : int ref
+
+val set_stats : bool -> unit
+val set_crash_tracking : bool -> unit
+val set_delay_injection : bool -> unit
 
 val reset : unit -> unit
 val set_latency : ?write_ns:float -> read_ns:float -> unit -> unit

@@ -13,7 +13,18 @@
     The volatile view (what the program reads back) and the persistent
     image (what survives [crash]) therefore differ until [persist] is
     called — which is precisely the programming hazard the FPTree's
-    algorithms are built around. *)
+    algorithms are built around.
+
+    {b Fast mode.}  When [Config.current] has [stats], [crash_tracking]
+    and [delay_injection] all off — the configuration of the paper's
+    throughput experiments — every accessor takes a specialized fast
+    path: one span validation, then an unchecked [Bytes] access; no
+    per-line simulated-cache probe and no per-word dirty-tracking
+    hashtable traffic.  The choice is made by a mode witness captured
+    per region and invalidated by {!Config.mode_generation}, so the
+    per-access cost of the mode decision is a single integer compare.
+    The instrumented path is the verbatim seed implementation, so
+    counter-producing runs are unaffected. *)
 
 type t = {
   id : int;
@@ -23,6 +34,10 @@ type t = {
   cache_tags : int array;
   (* word index -> persisted value, for words written since last flush. *)
   dirty : (int, int64) Hashtbl.t;
+  (* Mode witness: [fast] is valid while [mode_gen] equals
+     [!Config.mode_generation]. *)
+  mutable fast : bool;
+  mutable mode_gen : int;
 }
 
 let cache_slots = 8192 (* 8192 x 64B = 512 KiB simulated cache *)
@@ -36,6 +51,8 @@ let make ~id ~size =
     size;
     cache_tags = Array.make cache_slots (-1);
     dirty = Hashtbl.create 1024;
+    fast = false;
+    mode_gen = 0; (* Config.mode_generation starts at 1: refresh on first use *)
   }
 
 let id t = t.id
@@ -46,6 +63,52 @@ let check t off len =
     invalid_arg
       (Printf.sprintf "Region: out-of-bounds access off=%d len=%d size=%d"
          off len t.size)
+
+(* ---- mode witness ---- *)
+
+let refresh_mode t =
+  t.mode_gen <- !Config.mode_generation;
+  t.fast <-
+    (not Config.current.stats)
+    && (not Config.current.crash_tracking)
+    && not Config.current.delay_injection
+
+(** [true] when the fast path applies; re-derives the witness only when
+    the configuration generation moved. *)
+let[@inline] fast_mode t =
+  if t.mode_gen <> !Config.mode_generation then refresh_mode t;
+  t.fast
+
+(* ---- unchecked byte-buffer primitives (fast path only; every use is
+   preceded by a span validation via [check]) ---- *)
+
+external unsafe_get_16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_set_32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap16 : int -> int = "%bswap16"
+external swap32 : int32 -> int32 = "%bswap_int32"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+let[@inline] get_16_le b off =
+  if Sys.big_endian then swap16 (unsafe_get_16 b off) else unsafe_get_16 b off
+
+let[@inline] get_32_le b off =
+  if Sys.big_endian then swap32 (unsafe_get_32 b off) else unsafe_get_32 b off
+
+let[@inline] get_64_le b off =
+  if Sys.big_endian then swap64 (unsafe_get_64 b off) else unsafe_get_64 b off
+
+let[@inline] set_16_le b off v =
+  if Sys.big_endian then unsafe_set_16 b off (swap16 v) else unsafe_set_16 b off v
+
+let[@inline] set_32_le b off v =
+  if Sys.big_endian then unsafe_set_32 b off (swap32 v) else unsafe_set_32 b off v
+
+let[@inline] set_64_le b off v =
+  if Sys.big_endian then unsafe_set_64 b off (swap64 v) else unsafe_set_64 b off v
 
 (* ---- simulated cache ---- *)
 
@@ -82,60 +145,164 @@ let dirty_word_count t = Hashtbl.length t.dirty
 (* ---- reads ---- *)
 
 let read_u8 t off =
-  check t off 1;
-  touch_lines t off 1;
-  Char.code (Bytes.get t.buf off)
+  if fast_mode t then begin
+    check t off 1;
+    Char.code (Bytes.unsafe_get t.buf off)
+  end
+  else begin
+    check t off 1;
+    touch_lines t off 1;
+    Char.code (Bytes.get t.buf off)
+  end
 
 let read_u16 t off =
-  check t off 2;
-  touch_lines t off 2;
-  Bytes.get_uint16_le t.buf off
+  if fast_mode t then begin
+    check t off 2;
+    get_16_le t.buf off
+  end
+  else begin
+    check t off 2;
+    touch_lines t off 2;
+    Bytes.get_uint16_le t.buf off
+  end
 
 let read_int32 t off =
-  check t off 4;
-  touch_lines t off 4;
-  Bytes.get_int32_le t.buf off
+  if fast_mode t then begin
+    check t off 4;
+    get_32_le t.buf off
+  end
+  else begin
+    check t off 4;
+    touch_lines t off 4;
+    Bytes.get_int32_le t.buf off
+  end
 
 let read_int64 t off =
-  check t off 8;
-  touch_lines t off 8;
-  Bytes.get_int64_le t.buf off
+  if fast_mode t then begin
+    check t off 8;
+    get_64_le t.buf off
+  end
+  else begin
+    check t off 8;
+    touch_lines t off 8;
+    Bytes.get_int64_le t.buf off
+  end
+
+(** 64-bit little-endian load returned as a tagged OCaml [int] (the top
+    bit is truncated, exactly like [Int64.to_int (read_int64 t off)]).
+    The hot-path accessor of the tree: no [int64] boxing. *)
+let read_word t off =
+  if fast_mode t then begin
+    check t off 8;
+    Int64.to_int (get_64_le t.buf off)
+  end
+  else begin
+    check t off 8;
+    touch_lines t off 8;
+    Int64.to_int (Bytes.get_int64_le t.buf off)
+  end
+
+(** 32-bit little-endian load as an unsigned tagged [int] in
+    [0, 2^32): the SWAR fingerprint scan reads half-words so that no
+    lane is lost to the 63-bit [int] truncation. *)
+let read_u32 t off =
+  if fast_mode t then begin
+    check t off 4;
+    Int32.to_int (get_32_le t.buf off) land 0xFFFFFFFF
+  end
+  else begin
+    check t off 4;
+    touch_lines t off 4;
+    Int32.to_int (Bytes.get_int32_le t.buf off) land 0xFFFFFFFF
+  end
 
 let read_string t off len =
-  check t off len;
-  touch_lines t off len;
-  Bytes.sub_string t.buf off len
+  if fast_mode t then begin
+    check t off len;
+    Bytes.sub_string t.buf off len
+  end
+  else begin
+    check t off len;
+    touch_lines t off len;
+    Bytes.sub_string t.buf off len
+  end
 
 let blit_to_bytes t off dst dst_off len =
-  check t off len;
-  touch_lines t off len;
-  Bytes.blit t.buf off dst dst_off len
+  if fast_mode t then begin
+    check t off len;
+    if dst_off < 0 || dst_off + len > Bytes.length dst then
+      invalid_arg "Region.blit_to_bytes: destination out of bounds";
+    Bytes.unsafe_blit t.buf off dst dst_off len
+  end
+  else begin
+    check t off len;
+    touch_lines t off len;
+    Bytes.blit t.buf off dst dst_off len
+  end
 
 (* ---- writes (land in the volatile cache; durable only after persist) ---- *)
 
 let write_u8 t off v =
-  check t off 1;
-  touch_lines t off 1;
-  mark_dirty t off 1;
-  Bytes.set t.buf off (Char.chr (v land 0xff))
+  if fast_mode t then begin
+    check t off 1;
+    Bytes.unsafe_set t.buf off (Char.chr (v land 0xff))
+  end
+  else begin
+    check t off 1;
+    touch_lines t off 1;
+    mark_dirty t off 1;
+    Bytes.set t.buf off (Char.chr (v land 0xff))
+  end
 
 let write_u16 t off v =
-  check t off 2;
-  touch_lines t off 2;
-  mark_dirty t off 2;
-  Bytes.set_uint16_le t.buf off v
+  if fast_mode t then begin
+    check t off 2;
+    set_16_le t.buf off v
+  end
+  else begin
+    check t off 2;
+    touch_lines t off 2;
+    mark_dirty t off 2;
+    Bytes.set_uint16_le t.buf off v
+  end
 
 let write_int32 t off v =
-  check t off 4;
-  touch_lines t off 4;
-  mark_dirty t off 4;
-  Bytes.set_int32_le t.buf off v
+  if fast_mode t then begin
+    check t off 4;
+    set_32_le t.buf off v
+  end
+  else begin
+    check t off 4;
+    touch_lines t off 4;
+    mark_dirty t off 4;
+    Bytes.set_int32_le t.buf off v
+  end
 
 let write_int64 t off v =
-  check t off 8;
-  touch_lines t off 8;
-  mark_dirty t off 8;
-  Bytes.set_int64_le t.buf off v
+  if fast_mode t then begin
+    check t off 8;
+    set_64_le t.buf off v
+  end
+  else begin
+    check t off 8;
+    touch_lines t off 8;
+    mark_dirty t off 8;
+    Bytes.set_int64_le t.buf off v
+  end
+
+(** Store a tagged [int] as a 64-bit little-endian word
+    (sign-extended, the exact inverse of {!read_word}); no boxing. *)
+let write_word t off v =
+  if fast_mode t then begin
+    check t off 8;
+    set_64_le t.buf off (Int64.of_int v)
+  end
+  else begin
+    check t off 8;
+    touch_lines t off 8;
+    mark_dirty t off 8;
+    Bytes.set_int64_le t.buf off (Int64.of_int v)
+  end
 
 (** A p-atomic 8-byte store: must be word-aligned, so that it can never
     tear across a crash (Section 2, "Partial writes"). *)
@@ -144,41 +311,54 @@ let write_int64_atomic t off v =
     invalid_arg "Region.write_int64_atomic: offset not 8-byte aligned";
   write_int64 t off v
 
+let write_word_atomic t off v =
+  if not (Cacheline.is_word_aligned off) then
+    invalid_arg "Region.write_int64_atomic: offset not 8-byte aligned";
+  write_word t off v
+
 let write_string t off s =
   let len = String.length s in
   check t off len;
-  if len > 0 then begin
-    touch_lines t off len;
-    mark_dirty t off len;
-    Bytes.blit_string s 0 t.buf off len
-  end
+  if len > 0 then
+    if fast_mode t then Bytes.blit_string s 0 t.buf off len
+    else begin
+      touch_lines t off len;
+      mark_dirty t off len;
+      Bytes.blit_string s 0 t.buf off len
+    end
 
 let write_bytes t off b =
   let len = Bytes.length b in
   check t off len;
-  if len > 0 then begin
-    touch_lines t off len;
-    mark_dirty t off len;
-    Bytes.blit b 0 t.buf off len
-  end
+  if len > 0 then
+    if fast_mode t then Bytes.blit b 0 t.buf off len
+    else begin
+      touch_lines t off len;
+      mark_dirty t off len;
+      Bytes.blit b 0 t.buf off len
+    end
 
 let blit_internal t ~src ~dst ~len =
   check t src len;
   check t dst len;
-  if len > 0 then begin
-    touch_lines t src len;
-    touch_lines t dst len;
-    mark_dirty t dst len;
-    Bytes.blit t.buf src t.buf dst len
-  end
+  if len > 0 then
+    if fast_mode t then Bytes.unsafe_blit t.buf src t.buf dst len
+    else begin
+      touch_lines t src len;
+      touch_lines t dst len;
+      mark_dirty t dst len;
+      Bytes.blit t.buf src t.buf dst len
+    end
 
 let fill t off len c =
   check t off len;
-  if len > 0 then begin
-    touch_lines t off len;
-    mark_dirty t off len;
-    Bytes.fill t.buf off len c
-  end
+  if len > 0 then
+    if fast_mode t then Bytes.fill t.buf off len c
+    else begin
+      touch_lines t off len;
+      mark_dirty t off len;
+      Bytes.fill t.buf off len c
+    end
 
 (* ---- persistence primitives ---- *)
 
@@ -191,29 +371,46 @@ let fence _t = if Config.current.stats then incr Stats.fences
 let persist t off len =
   check t off (max len 0);
   Config.on_persist ();
-  if Config.current.stats then begin
-    incr Stats.persists;
-    incr Stats.fences
-  end;
-  if len > 0 then begin
-    let first = Cacheline.line_of_offset off in
-    let last = Cacheline.line_of_offset (off + len - 1) in
-    for line = first to last do
-      if Config.current.stats then begin
-        incr Stats.flushes;
-        incr Stats.line_writes
-      end;
-      Latency.on_scm_write_back ();
-      (* CLFLUSH evicts the line from the simulated cache. *)
-      let slot = line mod cache_slots in
-      if t.cache_tags.(slot) = line then t.cache_tags.(slot) <- -1;
-      if Config.current.crash_tracking then
-        (* Every word of the line is now durable. *)
-        for w = line * Cacheline.words_per_line
-            to (line + 1) * Cacheline.words_per_line - 1 do
-          Hashtbl.remove t.dirty w
-        done
-    done
+  if fast_mode t then begin
+    (* No stats, no delay injection, no dirty words to retire.  The
+       simulated cache is still invalidated so that a later
+       instrumented phase starts from the same cache image the
+       instrumented path would have produced. *)
+    if len > 0 then begin
+      let first = Cacheline.line_of_offset off in
+      let last = Cacheline.line_of_offset (off + len - 1) in
+      for line = first to last do
+        let slot = line mod cache_slots in
+        if Array.unsafe_get t.cache_tags slot = line then
+          Array.unsafe_set t.cache_tags slot (-1)
+      done
+    end
+  end
+  else begin
+    if Config.current.stats then begin
+      incr Stats.persists;
+      incr Stats.fences
+    end;
+    if len > 0 then begin
+      let first = Cacheline.line_of_offset off in
+      let last = Cacheline.line_of_offset (off + len - 1) in
+      for line = first to last do
+        if Config.current.stats then begin
+          incr Stats.flushes;
+          incr Stats.line_writes
+        end;
+        Latency.on_scm_write_back ();
+        (* CLFLUSH evicts the line from the simulated cache. *)
+        let slot = line mod cache_slots in
+        if t.cache_tags.(slot) = line then t.cache_tags.(slot) <- -1;
+        if Config.current.crash_tracking then
+          (* Every word of the line is now durable. *)
+          for w = line * Cacheline.words_per_line
+              to (line + 1) * Cacheline.words_per_line - 1 do
+            Hashtbl.remove t.dirty w
+          done
+      done
+    end
   end
 
 (** Flush the whole region (used by recovery sanity checks and [save]). *)

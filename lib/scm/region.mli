@@ -4,7 +4,14 @@
     CPU cache (to count SCM line misses for the latency model) and
     track dirty 8-byte words (so a simulated crash reverts exactly what
     a power failure would lose).  The volatile view and the persistent
-    image differ until {!persist} is called. *)
+    image differ until {!persist} is called.
+
+    When [Config.current] has [stats], [crash_tracking] and
+    [delay_injection] all off, accessors switch to a fast path (one
+    span validation, then unchecked buffer access, no per-line or
+    per-word instrumentation).  The mode witness is captured per region
+    and refreshed only when {!Config.mode_generation} moves, so
+    instrumentation switches MUST go through the [Config] setters. *)
 
 type t
 
@@ -25,6 +32,17 @@ val read_u8 : t -> int -> int
 val read_u16 : t -> int -> int
 val read_int32 : t -> int -> int32
 val read_int64 : t -> int -> int64
+
+(** [read_word t off] is [Int64.to_int (read_int64 t off)] without the
+    intermediate boxed [int64]: a 64-bit little-endian load truncated
+    to a tagged 63-bit [int].  The tree's hot-path accessor. *)
+val read_word : t -> int -> int
+
+(** [read_u32 t off] is a 32-bit little-endian load as an unsigned
+    tagged [int] in [0, 2^32) — half-word granularity for SWAR scans
+    that cannot afford the 63-bit truncation of {!read_word}. *)
+val read_u32 : t -> int -> int
+
 val read_string : t -> int -> int -> string
 val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
 
@@ -39,10 +57,18 @@ val write_u16 : t -> int -> int -> unit
 val write_int32 : t -> int -> int32 -> unit
 val write_int64 : t -> int -> int64 -> unit
 
+(** [write_word t off v] is [write_int64 t off (Int64.of_int v)]
+    without the boxing; the exact inverse of {!read_word}. *)
+val write_word : t -> int -> int -> unit
+
 (** A p-atomic 8-byte store: must be word-aligned so it can never tear
     across a crash (Section 2 of the paper, "Partial writes").
     @raise Invalid_argument when the offset is not 8-byte aligned. *)
 val write_int64_atomic : t -> int -> int64 -> unit
+
+(** {!write_word} with the alignment guarantee of
+    {!write_int64_atomic}. *)
+val write_word_atomic : t -> int -> int -> unit
 
 val write_string : t -> int -> string -> unit
 val write_bytes : t -> int -> bytes -> unit

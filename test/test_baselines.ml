@@ -134,8 +134,8 @@ let test_nv_recovery () =
   Alcotest.(check (option int)) "deleted stays deleted" None (Nv.find t2 10)
 
 let test_nv_concurrent () =
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false;
   let a = Pmem.Palloc.create ~size:(256 * 1024 * 1024) () in
   let t = Nv.create ~cap:32 ~pln_cap:64 a in
   let n_domains = max 2 (min 4 (Domain.recommended_domain_count () - 1)) in

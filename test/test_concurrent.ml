@@ -16,8 +16,8 @@ let setup () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
   Scm.Stats.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false;
   let a = Pmem.Palloc.create ~size:(256 * 1024 * 1024) () in
   (a, F.create_concurrent ~m:8 a)
 

@@ -16,7 +16,7 @@ type fixed_tree = {
 let mk_all () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.set_crash_tracking false;
   let fp =
     let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
     let t = Fptree.Fixed.create ~config:{ Fptree.Tree.fptree_config with Fptree.Tree.m = 6 } a in

@@ -1,0 +1,124 @@
+(* Hot-path regression tests for the fast-mode SCM access layer and the
+   allocation-free tree operations:
+
+   - fast mode (stats, crash tracking and delay injection all off) and
+     instrumented mode must produce identical tree contents for the
+     same randomized operation trace — the fast accessors are a perf
+     overlay, never a semantic one;
+   - [find_value] must not allocate on the minor heap in fast mode;
+   - the m = 64 concurrent configuration must survive leaf fills
+     (its bitmap uses bits 0..62 of a 63-bit OCaml int: a regression
+     here once produced a full-leaf bitmap of 0). *)
+
+module F = Fptree.Fixed
+
+let fast_mode () =
+  Scm.Config.reset ();
+  Scm.Config.set_stats false;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_delay_injection false
+
+let instrumented_mode () =
+  Scm.Config.reset ();
+  Scm.Config.set_stats true;
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_delay_injection false
+
+let fresh_tree ?(size = 64 * 1024 * 1024) () =
+  Scm.Registry.clear ();
+  Scm.Stats.reset ();
+  F.create_single (Pmem.Palloc.create ~size ())
+
+(* One deterministic randomized trace, parameterized only by the seed:
+   a mix of inserts, updates, deletes and finds over a small key space
+   so that leaves fill, split, empty and free. *)
+let run_trace t =
+  let rng = Random.State.make [| 42 |] in
+  let key_space = 4096 in
+  let results = ref [] in
+  for _ = 1 to 30_000 do
+    let k = 2 * Random.State.int rng key_space in
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 -> results := (if F.insert t k k then 1 else 0) :: !results
+    | 4 | 5 -> results := (if F.update t k (k + 1) then 1 else 0) :: !results
+    | 6 | 7 -> results := (if F.delete t k then 1 else 0) :: !results
+    | _ -> results := (match F.find t k with Some v -> v | None -> -1) :: !results
+  done;
+  !results
+
+let contents t =
+  let acc = ref [] in
+  F.iter t (fun k v -> acc := (k, v) :: !acc);
+  List.sort compare !acc
+
+let test_mode_equivalence () =
+  fast_mode ();
+  let t_fast = fresh_tree () in
+  let r_fast = run_trace t_fast in
+  let c_fast = contents t_fast in
+  F.check_invariants t_fast;
+  instrumented_mode ();
+  let t_slow = fresh_tree () in
+  let r_slow = run_trace t_slow in
+  let c_slow = contents t_slow in
+  F.check_invariants t_slow;
+  fast_mode ();
+  Alcotest.(check int) "same number of results" (List.length r_fast)
+    (List.length r_slow);
+  Alcotest.(check bool) "same op results" true (r_fast = r_slow);
+  Alcotest.(check int) "same cardinality" (List.length c_fast)
+    (List.length c_slow);
+  Alcotest.(check bool) "same contents" true (c_fast = c_slow)
+
+let test_find_no_alloc () =
+  fast_mode ();
+  let t = fresh_tree () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore (F.insert t (2 * i) i)
+  done;
+  (* Warm up so any one-time allocation (lazy forcing etc.) is done. *)
+  for i = 0 to 99 do
+    ignore (F.find_value t ~default:(-1) (2 * i))
+  done;
+  let w0 = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    ignore (F.find_value t ~default:(-1) (2 * i));
+    ignore (F.find_value t ~default:(-1) ((2 * i) + 1))
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "find_value allocates nothing (saw %.1f words)" dw)
+    true (dw = 0.)
+
+let test_m64_concurrent_fill () =
+  fast_mode ();
+  Scm.Registry.clear ();
+  let t = F.create_concurrent (Pmem.Palloc.create ~size:(64 * 1024 * 1024) ()) in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    ignore (F.insert t (2 * i) i)
+  done;
+  F.check_invariants t;
+  Alcotest.(check int) "count" n (F.count t);
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "value" i (F.find_value t ~default:(-1) (2 * i))
+  done
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "fast-vs-instrumented",
+        [
+          Alcotest.test_case "randomized trace equivalence" `Quick
+            test_mode_equivalence;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "find_value is allocation-free" `Quick
+            test_find_no_alloc;
+        ] );
+      ( "m64",
+        [ Alcotest.test_case "concurrent config leaf fills" `Quick
+            test_m64_concurrent_fill;
+        ] );
+    ]

@@ -5,8 +5,8 @@ let setup_concurrent () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
   Scm.Stats.reset ();
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
-  Scm.Config.current.Scm.Config.stats <- false
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_stats false
 
 (* ---- kvstore ---- *)
 

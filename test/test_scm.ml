@@ -93,7 +93,7 @@ let test_random_subset_crash_deterministic () =
 
 let test_dirty_tracking_disabled () =
   let r = fresh () in
-  Config.current.Config.crash_tracking <- false;
+  Config.set_crash_tracking false;
   Region.write_int64 r 0 9L;
   Alcotest.(check int) "no dirty words tracked" 0 (Region.dirty_word_count r);
   Region.crash r;

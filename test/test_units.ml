@@ -203,7 +203,7 @@ let test_microlog_pool () =
 
 let test_microlog_pool_concurrent () =
   let r = fresh_region () in
-  Scm.Config.current.Scm.Config.crash_tracking <- false;
+  Scm.Config.set_crash_tracking false;
   let logs = Array.init 8 (fun i -> Fptree.Microlog.make r (i * 64)) in
   let pool = Fptree.Microlog.Pool.create logs in
   let in_use = Array.make 8 (Atomic.make 0) in

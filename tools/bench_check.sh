@@ -1,0 +1,25 @@
+#!/bin/sh
+# Perf-regression smoke check: build everything, run the tier-1 test
+# suite, then run the hotpath microbenchmark at a small scale so that a
+# hot-path slowdown or an instrumented-counter drift fails loudly (the
+# counter traces are printed by the bench; compare against the
+# committed BENCH_hotpath.json).
+#
+# Usage: tools/bench_check.sh [scale]   (default scale 0.05 = 50k keys)
+
+set -e
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.05}"
+
+echo "== build =="
+dune build
+
+echo "== tier-1 tests =="
+dune runtest
+
+echo "== hotpath microbench (scale $SCALE) =="
+HOTPATH_LABEL="bench_check" HOTPATH_OUT="/tmp/bench_check_hotpath.json" \
+  dune exec bench/main.exe -- --scale "$SCALE" hotpath
+
+echo "== done: /tmp/bench_check_hotpath.json =="

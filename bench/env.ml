@@ -5,9 +5,13 @@
       latencies), crash tracking OFF (not needed, and it would distort
       write costs), delay injection OFF.
     - [parallel ~latency_ns]: multi-domain wall-clock experiments —
-      counting and tracking OFF (the counters are not synchronized),
-      calibrated busy-wait injection ON so the latency knob acts like
-      the paper's emulation platform. *)
+      crash tracking OFF, calibrated busy-wait injection ON so the
+      latency knob acts like the paper's emulation platform.  SCM
+      counting defaults OFF to keep wall-clock numbers free of
+      instrumentation overhead — not for correctness: the counters are
+      domain-sharded ([Obs.Counter]) and exact under domains, so pass
+      [~stats:true] when a run should also report exact persist/flush
+      totals. *)
 
 let single () =
   Scm.Registry.clear ();
@@ -17,12 +21,12 @@ let single () =
   Scm.Config.set_stats true;
   Scm.Config.set_delay_injection false
 
-let parallel ~latency_ns =
+let parallel ?(stats = false) ~latency_ns () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
   Scm.Stats.reset ();
   Scm.Config.set_crash_tracking false;
-  Scm.Config.set_stats false;
+  Scm.Config.set_stats stats;
   Scm.Config.set_delay_injection (latency_ns > 90.);
   Scm.Config.set_latency ~read_ns:latency_ns ()
 

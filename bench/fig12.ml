@@ -20,7 +20,7 @@ let run () =
         ( Dbproto.Index.kind_name kind,
           List.map
             (fun lat ->
-              Env.parallel ~latency_ns:lat;
+              Env.parallel ~latency_ns:lat ();
               let db = Dbproto.Tatp.populate ~subscribers kind in
               let tps = Dbproto.Tatp.run_benchmark ~clients ~n_tx db in
               let _, restart_secs = Dbproto.Tatp.restart ~workers:clients db in

@@ -36,7 +36,7 @@ let run () =
         ( name,
           List.map
             (fun lat ->
-              Env.parallel ~latency_ns:lat;
+              Env.parallel ~latency_ns:lat ();
               let cache = Kvstore.Cache.create (mk ()) in
               let r =
                 Kvstore.Mc_bench.run ~clients ~n_ops ~net_cost_ns:2000. cache

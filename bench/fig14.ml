@@ -66,7 +66,7 @@ let run_concurrent () =
             ( pb,
               List.map
                 (fun w ->
-                  Env.parallel ~latency_ns:90.;
+                  Env.parallel ~latency_ns:90. ();
                   let t : string Trees.handle = mk pb in
                   for i = 0 to warm - 1 do
                     ignore (t.Trees.insert (key (i * 2)) 1)

@@ -18,7 +18,7 @@ let workloads = [ "Find"; "Insert"; "Update"; "Delete"; "Mixed" ]
 (* Build a fresh concurrent tree and run one workload at [domains];
    returns ops/second. *)
 let run_one ~latency_ns ~var ~tree ~workload ~domains ~warm ~nops =
-  Env.parallel ~latency_ns;
+  Env.parallel ~latency_ns ();
   let mk_fixed name = Trees.make_fixed name in
   let mk_var name = Trees.make_var name in
   (* uniformly distributed key streams, as in the paper: shuffled

@@ -269,13 +269,13 @@ let run () =
     | None -> "hotpath_run.json"
   in
   (* fast mode: the paper's throughput configuration (Figs 7-10) *)
-  Env.parallel ~latency_ns:90.;
+  Env.parallel ~latency_ns:90. ();
   single_suite ~mode:"fast" n;
   (* instrumented mode: access counting on (modeled-time runs) *)
   Env.single ();
   single_suite ~mode:"instrumented" n;
   (* concurrency: wall-clock mode, 1 and N domains *)
-  Env.parallel ~latency_ns:90.;
+  Env.parallel ~latency_ns:90. ();
   concurrent_suite (max 100_000 (n / 2));
   (* counter-pinning traces *)
   counter_trace ~trace:"core" core_trace;

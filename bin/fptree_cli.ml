@@ -8,9 +8,12 @@
      fptree_cli range   tree.scm LO HI       inclusive range scan
      fptree_cli stats   tree.scm             tree statistics
      fptree_cli fill    tree.scm N           bulk-insert N sequential pairs
+     fptree_cli metrics dump.json            pretty-print a metrics dump
 
    Every command loads the image, recovers the tree (micro-log replay +
-   DRAM rebuild), applies the operation, and writes the image back. *)
+   DRAM rebuild), applies the operation, and writes the image back.
+   Any command accepts [--metrics PATH] to dump the observability
+   registry (counters, histograms, recovery spans) after it ran. *)
 
 open Cmdliner
 
@@ -28,8 +31,38 @@ let path_arg =
 
 let key_arg p = Arg.(required & pos p (some int) None & info [] ~docv:"KEY")
 
+(* ---- observability plumbing ---- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "after the command, dump the observability registry (metrics + \
+           spans) to $(docv); '-' writes to stdout")
+
+let metrics_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("text", `Text) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FMT"
+        ~doc:"metrics dump format: $(b,json) (round-trippable) or $(b,text) \
+              (Prometheus exposition)")
+
+(* Enable the app-level gate only when a dump was requested, so plain
+   CLI runs keep the uninstrumented paths. *)
+let with_metrics metrics format f =
+  (match metrics with Some _ -> Obs.Gate.set_enabled true | None -> ());
+  let r = f () in
+  (match metrics with Some p -> Obs.Registry.dump ~format p | None -> ());
+  r
+
+(* ---- commands ---- *)
+
 let create_cmd =
-  let run path size_mb =
+  let run metrics format path size_mb =
+    with_metrics metrics format @@ fun () ->
     Scm.Registry.clear ();
     let alloc = Pmem.Palloc.create ~size:(size_mb * 1024 * 1024) () in
     ignore (Fptree.Fixed.create_single alloc);
@@ -40,20 +73,22 @@ let create_cmd =
     Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"arena size in MiB")
   in
   Cmd.v (Cmd.info "create" ~doc:"create an empty persistent tree image")
-    Term.(const run $ path_arg $ size)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ size)
 
 let put_cmd =
-  let run path k v =
+  let run metrics format path k v =
+    with_metrics metrics format @@ fun () ->
     let region, t = load_tree path in
     if not (Fptree.Fixed.insert t k v) then ignore (Fptree.Fixed.update t k v);
     save region path;
     Printf.printf "%d -> %d\n" k v
   in
   Cmd.v (Cmd.info "put" ~doc:"insert or update a pair")
-    Term.(const run $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let get_cmd =
-  let run path k =
+  let run metrics format path k =
+    with_metrics metrics format @@ fun () ->
     let _, t = load_tree path in
     match Fptree.Fixed.find t k with
     | Some v -> Printf.printf "%d\n" v
@@ -61,29 +96,34 @@ let get_cmd =
       prerr_endline "not found";
       exit 1
   in
-  Cmd.v (Cmd.info "get" ~doc:"look a key up") Term.(const run $ path_arg $ key_arg 1)
+  Cmd.v (Cmd.info "get" ~doc:"look a key up")
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
 
 let del_cmd =
-  let run path k =
+  let run metrics format path k =
+    with_metrics metrics format @@ fun () ->
     let region, t = load_tree path in
     let existed = Fptree.Fixed.delete t k in
     save region path;
     print_endline (if existed then "deleted" else "not found")
   in
-  Cmd.v (Cmd.info "del" ~doc:"delete a key") Term.(const run $ path_arg $ key_arg 1)
+  Cmd.v (Cmd.info "del" ~doc:"delete a key")
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
 
 let range_cmd =
-  let run path lo hi =
+  let run metrics format path lo hi =
+    with_metrics metrics format @@ fun () ->
     let _, t = load_tree path in
     List.iter
       (fun (k, v) -> Printf.printf "%d %d\n" k v)
       (Fptree.Fixed.range t ~lo ~hi)
   in
   Cmd.v (Cmd.info "range" ~doc:"inclusive range scan")
-    Term.(const run $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let stats_cmd =
-  let run path =
+  let run metrics format path =
+    with_metrics metrics format @@ fun () ->
     let _, t = load_tree path in
     Printf.printf "keys:        %d\n" (Fptree.Fixed.count t);
     Printf.printf "leaves:      %d\n" (Fptree.Fixed.leaf_count t);
@@ -91,10 +131,12 @@ let stats_cmd =
     Printf.printf "SCM bytes:   %d\n" (Fptree.Fixed.scm_bytes t);
     Printf.printf "DRAM bytes:  %d (rebuilt on recovery)\n" (Fptree.Fixed.dram_bytes t)
   in
-  Cmd.v (Cmd.info "stats" ~doc:"tree statistics") Term.(const run $ path_arg)
+  Cmd.v (Cmd.info "stats" ~doc:"tree statistics")
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg)
 
 let fill_cmd =
-  let run path n =
+  let run metrics format path n =
+    with_metrics metrics format @@ fun () ->
     let region, t = load_tree path in
     let base = Fptree.Fixed.count t in
     for i = base + 1 to base + n do
@@ -104,8 +146,74 @@ let fill_cmd =
     Printf.printf "inserted %d pairs (now %d keys)\n" n (Fptree.Fixed.count t)
   in
   Cmd.v (Cmd.info "fill" ~doc:"bulk-insert N sequential pairs")
-    Term.(const run $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
+
+(* ---- metrics: pretty-print a saved JSON dump ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_metric name j =
+  let open Obs.Json in
+  match to_string_val (member "type" j) with
+  | "counter" ->
+    let shards = keys (member "shards" j) in
+    Printf.printf "%-34s counter    total=%-12d shards=%d\n" name
+      (to_int (member "total" j))
+      (List.length shards)
+  | "gauge" ->
+    Printf.printf "%-34s gauge      value=%d\n" name (to_int (member "value" j))
+  | "histogram" ->
+    let q p = to_int (member p (member "quantiles" j)) in
+    Printf.printf
+      "%-34s histogram  count=%-10d mean=%-10.2f p50=%-8d p90=%-8d p99=%-8d max=%d\n"
+      name
+      (to_int (member "count" j))
+      (to_float (member "mean" j))
+      (q "p50") (q "p90") (q "p99")
+      (to_int (member "max" j))
+  | other -> Printf.printf "%-34s %s\n" name other
+  | exception _ -> Printf.printf "%-34s ?\n" name
+
+let metrics_cmd =
+  let run path =
+    match Obs.Json.parse (read_file path) with
+    | exception Obs.Json.Parse_error msg ->
+      Printf.eprintf "%s: not a JSON metrics dump (%s)\n" path msg;
+      exit 1
+    | j ->
+      let open Obs.Json in
+      let metrics = member "metrics" j in
+      List.iter (fun name -> print_metric name (member name metrics)) (keys metrics);
+      let spans = to_list (member "spans" j) in
+      if spans <> [] then begin
+        print_newline ();
+        Printf.printf "%-34s %10s  %s\n" "span" "dur_us" "domain";
+        List.iter
+          (fun s ->
+            Printf.printf "%-34s %10.1f  %d\n"
+              (to_string_val (member "name" s))
+              (to_float (member "dur_us" s))
+              (to_int (member "domain" s)))
+          spans
+      end
+  in
+  let dump_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DUMP" ~doc:"a JSON metrics dump written by --metrics")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"pretty-print a saved JSON metrics dump")
+    Term.(const run $ dump_arg)
 
 let () =
   let info = Cmd.info "fptree_cli" ~doc:"persistent FPTree image tool" in
-  exit (Cmd.eval (Cmd.group info [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd; metrics_cmd ]))

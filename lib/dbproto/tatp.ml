@@ -149,8 +149,14 @@ let get_access_data db s_id ai_type =
   | None -> 0
   | Some row -> Column.get db.ai_data12 row + Column.get db.ai_data34 row
 
-(** One transaction of the read-only mix (35/10/35 re-normalized). *)
+let h_txn_us =
+  Obs.Registry.histogram "dbproto_txn_us"
+    ~help:"TATP transaction latency, microseconds"
+
+(** One transaction of the read-only mix (35/10/35 re-normalized).
+    Latency is recorded only when the observability gate is on. *)
 let run_one db rng sink =
+  let t0 = if Obs.Gate.enabled () then Obs.Trace.now_us () else 0. in
   let s_id = 1 + Random.State.int rng db.subscribers in
   let dice = Random.State.int rng 80 in
   let v =
@@ -159,7 +165,9 @@ let run_one db rng sink =
       get_new_destination db s_id (1 + Random.State.int rng 4) (Random.State.int rng 3)
     else get_access_data db s_id (1 + Random.State.int rng 4)
   in
-  sink := !sink + v
+  sink := !sink + v;
+  if t0 > 0. then
+    Obs.Histogram.record h_txn_us (int_of_float (Obs.Trace.now_us () -. t0))
 
 (** Run [n_tx] transactions over [clients] parallel workers; returns
     transactions per second. *)
@@ -183,6 +191,7 @@ let run_benchmark ?(clients = 8) ~n_tx db =
     scan the SCM columns.  For the transient STXTree the indexes are
     rebuilt from base data.  Returns (new db, seconds). *)
 let restart ?(workers = 4) db =
+  Obs.Trace.with_span "tatp.restart" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let db' =
     match db.kind with

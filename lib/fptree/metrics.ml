@@ -1,0 +1,33 @@
+(** Tree-level metrics, registered once per process and shared by all
+    tree instantiations ({!Fixed}, {!Var}, the {!Ptree} configs) — the
+    registry aggregates over instances, like any process-wide metric
+    endpoint.
+
+    All of these are recorded only on the instrumented path (the
+    simulator's [stats] switch), so the fast-mode hot paths stay
+    allocation-free and branch-identical to PR 1.
+
+    Paper mapping: [fptree_probes_per_leaf_search] is Figure 4 (the
+    fingerprinting claim: ~1 key probe per in-leaf search);
+    [fptree_fp_false_positives_total] is its complement (probes that a
+    perfect fingerprint would have avoided); [fptree_split_us] prices
+    the split path (median selection + copy + bitmap commits);
+    [fptree_find_retries] is the seqlock (HTM-emulation) retry
+    behaviour of Appendix B; recovery timings are emitted as
+    [fptree.recovery.*] spans (Figure 11). *)
+
+let probes_per_search =
+  Obs.Registry.histogram "fptree_probes_per_leaf_search"
+    ~help:"in-leaf key probes per leaf search (Fig. 4: ~1 with fingerprints)"
+
+let fp_false_positives =
+  Obs.Registry.counter "fptree_fp_false_positives_total"
+    ~help:"key probes caused by fingerprint byte collisions"
+
+let split_us =
+  Obs.Registry.histogram "fptree_split_us"
+    ~help:"leaf split duration, microseconds (copy + median + commit)"
+
+let find_retries =
+  Obs.Registry.histogram "fptree_find_retries"
+    ~help:"speculative (seqlock) aborts before a find committed"

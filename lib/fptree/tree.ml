@@ -250,13 +250,29 @@ module Make (K : Keys.KEY) = struct
     end
     else lin_scan t leaf k bm (s + 1)
 
-  let find_slot t leaf k h =
+  let find_slot_raw t leaf k h =
     let bm = leaf_bitmap t leaf in
     if bm = 0 then -1
     else if t.layout.Layout.fingerprints then
       (* slots >= m can never be candidates *)
       fp_scan t leaf k h (bm land Layout.full_mask t.layout) 0
     else lin_scan t leaf k bm 0
+
+  (* Instrumented: per-search probe count goes to the Fig. 4 histogram
+     (the delta of [key_probes], so totals stay byte-identical to the
+     uninstrumented counter trace), and probes beyond the matching one
+     are fingerprint false positives. *)
+  let find_slot t leaf k h =
+    if not (stats_on ()) then find_slot_raw t leaf k h
+    else begin
+      let p0 = t.stats.key_probes in
+      let s = find_slot_raw t leaf k h in
+      let probes = t.stats.key_probes - p0 in
+      Obs.Histogram.record Metrics.probes_per_search probes;
+      let fp = if s >= 0 then probes - 1 else probes in
+      if fp > 0 then Obs.Counter.add Metrics.fp_false_positives fp;
+      s
+    end
 
   (** Write entry [k, v] into free slot [slot] and persist it; the entry
       stays invisible until the bitmap is committed (Algorithm 2,
@@ -570,7 +586,9 @@ module Make (K : Keys.KEY) = struct
     sep
 
   let split_leaf t (leaf : Inner.leaf_ref) =
-    if stats_on () then t.stats.leaf_splits <- t.stats.leaf_splits + 1;
+    let instrumented = stats_on () in
+    let t0 = if instrumented then Obs.Trace.now_us () else 0. in
+    if instrumented then t.stats.leaf_splits <- t.stats.leaf_splits + 1;
     let log = Microlog.Pool.acquire t.split_logs in
     Microlog.set_fst log (pptr_of t leaf.Inner.off);
     let fresh =
@@ -588,6 +606,9 @@ module Make (K : Keys.KEY) = struct
     let sep = do_split_steps t ~cur:leaf.Inner.off ~fresh in
     Microlog.reset log;
     Microlog.Pool.release t.split_logs log;
+    if instrumented then
+      Obs.Histogram.record Metrics.split_us
+        (int_of_float (Obs.Trace.now_us () -. t0));
     (sep, Inner.leaf_ref fresh)
 
   let recover_split t log =
@@ -691,6 +712,8 @@ module Make (K : Keys.KEY) = struct
     else
       let v0 = Spec.read_begin t.spec in
       if v0 < 0 then begin
+        (* Elided lock busy at entry: explicit abort. *)
+        Spec.note_explicit_abort t.spec;
         Spec.note_abort t.spec;
         Spec.relax ();
         lock_attempt t k (attempt + 1)
@@ -717,8 +740,11 @@ module Make (K : Keys.KEY) = struct
               lock_attempt t k (attempt + 1)
             end
           else begin
+            (* Leaf lock held: conflict if a writer raced us, else the
+               explicit-XABORT bucket (same taxonomy as [with_txn]). *)
             if not (Spec.read_validate t.spec v0) then
-              Spec.note_conflict t.spec;
+              Spec.note_conflict t.spec
+            else Spec.note_explicit_abort t.spec;
             Spec.note_abort t.spec;
             Spec.relax ();
             lock_attempt t k (attempt + 1)
@@ -757,7 +783,8 @@ module Make (K : Keys.KEY) = struct
     else
       let v0 = Spec.read_begin t.spec in
       if v0 < 0 then begin
-        (* A writer is inside: the elided lock is busy. *)
+        (* A writer is inside: the elided lock is busy — explicit. *)
+        Spec.note_explicit_abort t.spec;
         Spec.note_abort t.spec;
         Spec.relax ();
         find_attempt t k h (attempt + 1)
@@ -765,7 +792,8 @@ module Make (K : Keys.KEY) = struct
       else
         let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
         if is_locked leaf then begin
-          if not (Spec.read_validate t.spec v0) then Spec.note_conflict t.spec;
+          if not (Spec.read_validate t.spec v0) then Spec.note_conflict t.spec
+          else Spec.note_explicit_abort t.spec;
           Spec.note_abort t.spec;
           Spec.relax ();
           find_attempt t k h (attempt + 1)
@@ -792,12 +820,16 @@ module Make (K : Keys.KEY) = struct
               find_attempt t k h (attempt + 1)
             end
             else if is_locked leaf then begin
+              Spec.note_explicit_abort t.spec;
               Spec.note_abort t.spec;
               Spec.relax ();
               find_attempt t k h (attempt + 1)
             end
-            else if s >= 0 then v
-            else raise Not_found
+            else begin
+              if stats_on () then
+                Obs.Histogram.record Metrics.find_retries attempt;
+              if s >= 0 then v else raise Not_found
+            end
         end
 
   and find_fallback t k h =
@@ -830,6 +862,10 @@ module Make (K : Keys.KEY) = struct
         end
         else begin
           Spec.unlock_fallback t.spec;
+          if stats_on () then
+            (* The retry budget was exhausted before the fallback. *)
+            Obs.Histogram.record Metrics.find_retries
+              (Spec.retry_threshold t.spec);
           if s >= 0 then v else raise Not_found
         end
     end
@@ -1338,23 +1374,27 @@ module Make (K : Keys.KEY) = struct
     end;
     let ctx = { Keys.region; alloc } in
     let t = build_volatile ctx cfg meta in
-    if not initialized then begin
-      write_meta_word t meta_m cfg.m;
-      write_meta_word t meta_value_bytes cfg.value_bytes;
-      write_meta_word t meta_key_kind K.kind;
-      write_meta_word t meta_flags (flags_of cfg);
-      write_meta_word t meta_n_split cfg.n_split_logs;
-      write_meta_word t meta_n_delete cfg.n_delete_logs;
-      write_meta_word t meta_group_size cfg.group_size;
-      complete_init t
-    end
-    else begin
-      recover_getleaf t;
-      recover_freeleaf t;
-      Microlog.Pool.iter (recover_split t) t.split_logs;
-      Microlog.Pool.iter (recover_delete t) t.delete_logs
-    end;
-    rebuild_volatile t;
+    (* The recovery phases are timed as spans (Fig. 11: the paper's
+       recovery-time claim is that log replay is O(logs) and the DRAM
+       rebuild dominates, linear in leaves). *)
+    if not initialized then
+      Obs.Trace.with_span "fptree.recovery.init" (fun () ->
+          write_meta_word t meta_m cfg.m;
+          write_meta_word t meta_value_bytes cfg.value_bytes;
+          write_meta_word t meta_key_kind K.kind;
+          write_meta_word t meta_flags (flags_of cfg);
+          write_meta_word t meta_n_split cfg.n_split_logs;
+          write_meta_word t meta_n_delete cfg.n_delete_logs;
+          write_meta_word t meta_group_size cfg.group_size;
+          complete_init t)
+    else
+      Obs.Trace.with_span "fptree.recovery.log_replay" (fun () ->
+          recover_getleaf t;
+          recover_freeleaf t;
+          Microlog.Pool.iter (recover_split t) t.split_logs;
+          Microlog.Pool.iter (recover_delete t) t.delete_logs);
+    Obs.Trace.with_span "fptree.recovery.rebuild" (fun () ->
+        rebuild_volatile t);
     t
 
   (** Offsets of every allocated block the tree can account for

@@ -20,16 +20,49 @@
     This preserves the property the FPTree design depends on: read-only
     traversals of the DRAM part run lock-free and scale, while
     persistence primitives (flushes) are kept outside the speculative
-    region because on real hardware they would abort the transaction. *)
+    region because on real hardware they would abort the transaction.
+
+    {b Telemetry.}  Abort accounting is domain-sharded
+    ({!Obs.Counter}) and broken down by reason, the shape of the
+    paper's Appendix B abort analysis:
+
+    - {e conflict}: the version word moved during speculation — a TSX
+      read-set invalidation;
+    - {e explicit}: the transaction aborted itself (elided lock busy at
+      entry, or the body returned [Abort] — a leaf lock was taken),
+      the analogue of an XABORT / capacity-style early exit;
+    - {e fallback}: entries into the real mutex after the retry budget.
+
+    Each lock keeps its own shards ([stats] / [shard_stats]); the same
+    events also feed process-wide [htm_*_total] registry counters so a
+    metrics dump carries per-domain abort behaviour. *)
+
+(* Process-wide registry counters (all locks aggregated). *)
+let g_aborts =
+  Obs.Registry.counter "htm_aborts_total"
+    ~help:"speculative transaction aborts, all reasons"
+
+let g_conflicts =
+  Obs.Registry.counter "htm_conflict_aborts_total"
+    ~help:"aborts from read-set invalidation (version moved)"
+
+let g_explicit =
+  Obs.Registry.counter "htm_explicit_aborts_total"
+    ~help:"self-inflicted aborts (elided lock busy / explicit XABORT)"
+
+let g_fallbacks =
+  Obs.Registry.counter "htm_fallbacks_total"
+    ~help:"entries into the fallback mutex after the retry budget"
 
 type t = {
   version : int Atomic.t;
   fallback : Mutex.t;
   retry_threshold : int;
-  (* statistics (monotone, approximate is fine) *)
-  aborts : int Atomic.t;
-  conflicts : int Atomic.t;
-  fallbacks : int Atomic.t;
+  (* per-lock sharded statistics (exact under domains) *)
+  aborts : Obs.Counter.t;
+  conflicts : Obs.Counter.t;
+  explicit_aborts : Obs.Counter.t;
+  fallbacks : Obs.Counter.t;
 }
 
 let create ?(retry_threshold = 8) () =
@@ -37,10 +70,27 @@ let create ?(retry_threshold = 8) () =
     version = Atomic.make 0;
     fallback = Mutex.create ();
     retry_threshold;
-    aborts = Atomic.make 0;
-    conflicts = Atomic.make 0;
-    fallbacks = Atomic.make 0;
+    aborts = Obs.Counter.make ();
+    conflicts = Obs.Counter.make ();
+    explicit_aborts = Obs.Counter.make ();
+    fallbacks = Obs.Counter.make ();
   }
+
+let[@inline] count_abort t =
+  Obs.Counter.incr t.aborts;
+  Obs.Counter.incr g_aborts
+
+let[@inline] count_conflict t =
+  Obs.Counter.incr t.conflicts;
+  Obs.Counter.incr g_conflicts
+
+let[@inline] count_explicit t =
+  Obs.Counter.incr t.explicit_aborts;
+  Obs.Counter.incr g_explicit
+
+let[@inline] count_fallback t =
+  Obs.Counter.incr t.fallbacks;
+  Obs.Counter.incr g_fallbacks
 
 type 'a outcome = Commit of 'a | Abort
 (** What the transaction body decides: [Abort] is an explicit XABORT
@@ -61,7 +111,8 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
       let v = Atomic.get t.version in
       if v land 1 = 1 then begin
         (* A writer is inside: the elided lock is busy. *)
-        Atomic.incr t.aborts;
+        count_explicit t;
+        count_abort t;
         cpu_relax ();
         optimistic (attempt + 1)
       end
@@ -76,8 +127,8 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
         in
         if Atomic.get t.version <> v then begin
           (match result with Ok (Commit x) -> on_rollback x | _ -> ());
-          Atomic.incr t.conflicts;
-          Atomic.incr t.aborts;
+          count_conflict t;
+          count_abort t;
           cpu_relax ();
           optimistic (attempt + 1)
         end
@@ -85,7 +136,8 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
           match result with
           | Ok (Commit x) -> x
           | Ok Abort ->
-            Atomic.incr t.aborts;
+            count_explicit t;
+            count_abort t;
             cpu_relax ();
             optimistic (attempt + 1)
           | Error e -> raise e
@@ -95,7 +147,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
        abort releases the lock and the enclosing while-loop reacquires
        it, so a thread holding a leaf lock can still enter its second
        (structure-updating) critical section — no deadlock. *)
-    Atomic.incr t.fallbacks;
+    count_fallback t;
     Mutex.lock t.fallback;
     let r = Fun.protect ~finally:(fun () -> Mutex.unlock t.fallback) f in
     match r with
@@ -124,14 +176,20 @@ let read_begin t =
 (** [true] iff no writer committed since {!read_begin} returned [v]. *)
 let read_validate t v = Atomic.get t.version = v
 
-let note_abort t = Atomic.incr t.aborts
-let note_conflict t = Atomic.incr t.conflicts
+let note_abort t = count_abort t
+let note_conflict t = count_conflict t
+
+(** Count a self-inflicted abort (elided lock busy at [read_begin], or
+    the target leaf's lock was held): the explicit-XABORT bucket of the
+    reason breakdown.  Callers still call {!note_abort} for the total. *)
+let note_explicit_abort t = count_explicit t
+
 let relax = cpu_relax
 
 (** Enter the fallback path: the real mutex, counted like [with_txn]'s
     fallback.  The caller must pair it with {!unlock_fallback}. *)
 let lock_fallback t =
-  Atomic.incr t.fallbacks;
+  count_fallback t;
   Mutex.lock t.fallback
 
 let relock_fallback t = Mutex.lock t.fallback
@@ -152,11 +210,52 @@ let with_write t f =
       Mutex.unlock t.fallback)
     f
 
-type stats = { aborts : int; conflicts : int; fallbacks : int }
+type stats = {
+  aborts : int;
+  conflicts : int;
+  explicit_aborts : int;
+  fallbacks : int;
+}
 
+(** Merged (all-domain) totals for this lock. *)
 let stats (t : t) =
   {
-    aborts = Atomic.get t.aborts;
-    conflicts = Atomic.get t.conflicts;
-    fallbacks = Atomic.get t.fallbacks;
+    aborts = Obs.Counter.value t.aborts;
+    conflicts = Obs.Counter.value t.conflicts;
+    explicit_aborts = Obs.Counter.value t.explicit_aborts;
+    fallbacks = Obs.Counter.value t.fallbacks;
   }
+
+let merge a b =
+  {
+    aborts = a.aborts + b.aborts;
+    conflicts = a.conflicts + b.conflicts;
+    explicit_aborts = a.explicit_aborts + b.explicit_aborts;
+    fallbacks = a.fallbacks + b.fallbacks;
+  }
+
+let zero_stats = { aborts = 0; conflicts = 0; explicit_aborts = 0; fallbacks = 0 }
+
+(** Per-domain-shard breakdown: [(shard, stats)] for every shard with
+    at least one non-zero counter (shard = domain id mod
+    [Obs.Counter.shards]).  Folding with {!merge} reproduces
+    {!stats}. *)
+let shard_stats (t : t) =
+  let tbl = Hashtbl.create 8 in
+  let get s =
+    match Hashtbl.find_opt tbl s with Some r -> r | None -> zero_stats
+  in
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with aborts = v })
+    (Obs.Counter.per_shard t.aborts);
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with conflicts = v })
+    (Obs.Counter.per_shard t.conflicts);
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with explicit_aborts = v })
+    (Obs.Counter.per_shard t.explicit_aborts);
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with fallbacks = v })
+    (Obs.Counter.per_shard t.fallbacks);
+  Hashtbl.fold (fun s r acc -> (s, r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

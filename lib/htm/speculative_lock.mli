@@ -48,11 +48,39 @@ val read_begin : t -> int
 val read_validate : t -> int -> bool
 val note_abort : t -> unit
 val note_conflict : t -> unit
+
+(** Count a self-inflicted abort (elided lock busy, target leaf lock
+    held — the explicit-XABORT bucket of the reason breakdown); call
+    alongside {!note_abort}, which counts the total. *)
+val note_explicit_abort : t -> unit
+
 val relax : unit -> unit
 val lock_fallback : t -> unit
 val relock_fallback : t -> unit
 val unlock_fallback : t -> unit
 
-type stats = { aborts : int; conflicts : int; fallbacks : int }
+(** {1 Statistics}
 
+    Domain-sharded and exact under parallel domains (the seed's single
+    [Atomic.t] aggregate per lock could not attribute events to
+    domains).  [aborts] is the total; [conflicts] (version moved — TSX
+    read-set invalidation) and [explicit_aborts] (lock busy / explicit
+    XABORT) partition the causes; [fallbacks] counts entries into the
+    real mutex.  The same events feed the process-wide [htm_*_total]
+    counters in {!Obs.Registry}. *)
+
+type stats = {
+  aborts : int;
+  conflicts : int;
+  explicit_aborts : int;
+  fallbacks : int;
+}
+
+(** Merged (all-domain) totals for this lock. *)
 val stats : t -> stats
+
+val merge : stats -> stats -> stats
+
+(** Per-domain-shard breakdown, non-zero shards only; folding with
+    {!merge} reproduces {!stats}. *)
+val shard_stats : t -> (int * stats) list

@@ -8,6 +8,19 @@
     global lock (single-threaded trees).  Items (the values) stay in a
     DRAM item store, as in memcached. *)
 
+(* Op latency histograms (microseconds), recorded only when the
+   observability gate is on so the cache benches pay nothing by
+   default. *)
+let h_get_us =
+  Obs.Registry.histogram "kvstore_get_us" ~help:"GET latency, microseconds"
+
+let h_set_us =
+  Obs.Registry.histogram "kvstore_set_us" ~help:"SET latency, microseconds"
+
+let h_delete_us =
+  Obs.Registry.histogram "kvstore_delete_us"
+    ~help:"DELETE latency, microseconds"
+
 type t = {
   index : Tree_ops.t;
   items : string array Atomic.t; (* grow-only item store *)
@@ -58,23 +71,48 @@ let store_item t value =
 
 (** SET: insert or overwrite. *)
 let set t key value =
-  let id = store_item t value in
-  with_global t (fun () ->
-      if not (t.index.Tree_ops.insert key id) then
-        ignore (t.index.Tree_ops.update key id))
+  if not (Obs.Gate.enabled ()) then begin
+    let id = store_item t value in
+    with_global t (fun () ->
+        if not (t.index.Tree_ops.insert key id) then
+          ignore (t.index.Tree_ops.update key id))
+  end
+  else begin
+    let t0 = Obs.Trace.now_us () in
+    let id = store_item t value in
+    with_global t (fun () ->
+        if not (t.index.Tree_ops.insert key id) then
+          ignore (t.index.Tree_ops.update key id));
+    Obs.Histogram.record h_set_us (int_of_float (Obs.Trace.now_us () -. t0))
+  end
 
 (** GET. *)
 let get t key =
+  let t0 = if Obs.Gate.enabled () then Obs.Trace.now_us () else 0. in
   let r = with_global t (fun () -> t.index.Tree_ops.find key) in
-  match r with
-  | Some id ->
-    Atomic.incr t.hits;
-    Some (Atomic.get t.items).(id)
-  | None ->
-    Atomic.incr t.misses;
-    None
+  let r =
+    match r with
+    | Some id ->
+      Atomic.incr t.hits;
+      Some (Atomic.get t.items).(id)
+    | None ->
+      Atomic.incr t.misses;
+      None
+  in
+  if t0 > 0. then
+    Obs.Histogram.record h_get_us (int_of_float (Obs.Trace.now_us () -. t0));
+  r
 
-let delete t key = with_global t (fun () -> t.index.Tree_ops.delete key)
+let delete t key =
+  if not (Obs.Gate.enabled ()) then
+    with_global t (fun () -> t.index.Tree_ops.delete key)
+  else begin
+    let t0 = Obs.Trace.now_us () in
+    let r = with_global t (fun () -> t.index.Tree_ops.delete key) in
+    Obs.Histogram.record h_delete_us
+      (int_of_float (Obs.Trace.now_us () -. t0));
+    r
+  end
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses

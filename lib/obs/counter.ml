@@ -1,0 +1,54 @@
+(** Domain-sharded monotone counter.
+
+    The seed's plain-[ref] counters lose increments under parallel
+    domains (two domains read-modify-write the same word).  Here every
+    domain increments its own slot — an [Atomic.t] indexed by the
+    domain id — so totals are {e exact} under any interleaving:
+    per-slot increments are atomic (two domains whose ids collide
+    modulo the shard count share a slot safely), and [value] folds the
+    slots with atomic reads.
+
+    Slots are spaced [stride] array cells apart and the atomics are
+    allocated back-to-back, so consecutive slots land on different
+    cache lines and a domain's increments do not false-share with its
+    neighbours'. *)
+
+type t = { slots : int Atomic.t array }
+
+let shards = 64 (* power of two: slot = domain id land (shards - 1) *)
+let stride = 4 (* cells between live slots: >= 64B of atomic blocks *)
+
+let make () = { slots = Array.init (shards * stride) (fun _ -> Atomic.make 0) }
+
+let[@inline] slot t =
+  Array.unsafe_get t.slots
+    (((Domain.self () :> int) land (shards - 1)) * stride)
+
+let[@inline] incr t = Atomic.incr (slot t)
+
+let[@inline] add t n =
+  if n <> 0 then ignore (Atomic.fetch_and_add (slot t) n)
+
+(** Exact total across all shards (quiescent callers see the exact sum;
+    a concurrent reader sees some linearized partial sum). *)
+let value t =
+  let s = ref 0 in
+  for i = 0 to shards - 1 do
+    s := !s + Atomic.get t.slots.(i * stride)
+  done;
+  !s
+
+(** Per-shard totals: [(shard, value)] for the non-zero shards, in
+    shard order.  Shard = domain id modulo {!shards}. *)
+let per_shard t =
+  let acc = ref [] in
+  for i = shards - 1 downto 0 do
+    let v = Atomic.get t.slots.(i * stride) in
+    if v <> 0 then acc := (i, v) :: !acc
+  done;
+  !acc
+
+let reset t =
+  for i = 0 to shards - 1 do
+    Atomic.set t.slots.(i * stride) 0
+  done

@@ -1,0 +1,18 @@
+(** Domain-sharded monotone counter: exact totals under [Domain]
+    parallelism (each domain increments its own padded atomic slot). *)
+
+type t
+
+val shards : int
+val make : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+
+(** Exact total across all shards. *)
+val value : t -> int
+
+(** [(shard, value)] for the non-zero shards; shard = domain id mod
+    {!shards}. *)
+val per_shard : t -> (int * int) list
+
+val reset : t -> unit

@@ -1,0 +1,23 @@
+(** Global on/off switch for application-level observability (op
+    latency histograms, span recording on warm paths).
+
+    The SCM simulator's own instrumentation is governed by
+    [Scm.Config.current.stats]; this gate covers the layers above the
+    simulator (kvstore / dbproto op latencies) that have no simulator
+    mode of their own.  Reading the gate is a single immutable-field
+    load; callers on hot paths may additionally cache the decision with
+    the same generation-witness pattern [Scm.Region] uses for its
+    fast-mode switch — [generation] is bumped on every change, so a
+    cached witness is valid while the generation it captured still
+    matches. *)
+
+let flag = ref false
+let generation = ref 1
+
+let enabled () = !flag
+
+let set_enabled b =
+  if !flag <> b then begin
+    flag := b;
+    incr generation
+  end

@@ -1,0 +1,167 @@
+(** Domain-sharded log-bucketed (HDR-style) latency/value histogram.
+
+    Non-negative integer samples (nanoseconds, microseconds, probe
+    counts, ...) land in buckets whose width grows with magnitude:
+
+    - values [0..15] get exact unit buckets;
+    - every power-of-two decade [2^e, 2^(e+1)) (e >= 4) is divided
+      into 16 sub-buckets of width [2^(e-4)],
+
+    so every bucket bound is representable and the relative error of a
+    reported quantile is at most 1/16.  960 buckets cover the whole
+    non-negative [int] range.
+
+    Sharding mirrors {!Counter}: each domain records into its own
+    shard (created lazily on first use, installed by CAS), and bucket
+    cells are atomic, so merged totals are exact under any domain
+    interleaving.  Recording allocates nothing after a shard's first
+    sample. *)
+
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits (* 16 *)
+let n_buckets = 960
+
+let[@inline] msb v =
+  (* index of the highest set bit; v > 0 *)
+  let r = ref 0 in
+  let v = ref v in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+(** Bucket index of sample [v] (negative samples clamp to bucket 0). *)
+let[@inline] bucket_of v =
+  if v < sub_count then (if v < 0 then 0 else v)
+  else
+    let e = msb v in
+    ((e - (sub_bits - 1)) lsl sub_bits) lor ((v lsr (e - sub_bits)) land (sub_count - 1))
+
+(** Inclusive [(lo, hi)] value range of bucket [i]. *)
+let bounds i =
+  if i < sub_count then (i, i)
+  else begin
+    let e = (i lsr sub_bits) + (sub_bits - 1) in
+    let w = 1 lsl (e - sub_bits) in
+    let lo = (sub_count + (i land (sub_count - 1))) * w in
+    (lo, lo + w - 1)
+  end
+
+type shard = {
+  buckets : int Atomic.t array;
+  sum : int Atomic.t;
+}
+
+type t = { shards : shard option Atomic.t array }
+
+let make () = { shards = Array.init Counter.shards (fun _ -> Atomic.make None) }
+
+let fresh_shard () =
+  { buckets = Array.init n_buckets (fun _ -> Atomic.make 0); sum = Atomic.make 0 }
+
+let shard_for t =
+  let i = (Domain.self () :> int) land (Counter.shards - 1) in
+  let cell = Array.unsafe_get t.shards i in
+  match Atomic.get cell with
+  | Some s -> s
+  | None ->
+    let s = fresh_shard () in
+    if Atomic.compare_and_set cell None (Some s) then s
+    else Option.get (Atomic.get cell)
+
+let record t v =
+  let s = shard_for t in
+  Atomic.incr (Array.unsafe_get s.buckets (bucket_of v));
+  ignore (Atomic.fetch_and_add s.sum (if v > 0 then v else 0))
+
+(* ---- merged views ---- *)
+
+(** Merged bucket counts (length {!n_buckets}). *)
+let merged_buckets t =
+  let acc = Array.make n_buckets 0 in
+  Array.iter
+    (fun cell ->
+      match Atomic.get cell with
+      | None -> ()
+      | Some s ->
+        for b = 0 to n_buckets - 1 do
+          acc.(b) <- acc.(b) + Atomic.get s.buckets.(b)
+        done)
+    t.shards;
+  acc
+
+let count t =
+  Array.fold_left
+    (fun acc cell ->
+      match Atomic.get cell with
+      | None -> acc
+      | Some s ->
+        let n = ref acc in
+        Array.iter (fun c -> n := !n + Atomic.get c) s.buckets;
+        !n)
+    0 t.shards
+
+let sum t =
+  Array.fold_left
+    (fun acc cell ->
+      match Atomic.get cell with
+      | None -> acc
+      | Some s -> acc + Atomic.get s.sum)
+    0 t.shards
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int (sum t) /. float_of_int n
+
+(** [quantile t q] (0 <= q <= 1): the representable upper bound of the
+    bucket holding the ceil(q * count)-th smallest sample — at most one
+    bucket width (<= 1/16 relative) above the exact order statistic. *)
+let quantile t q =
+  let bs = merged_buckets t in
+  let total = Array.fold_left ( + ) 0 bs in
+  if total = 0 then 0
+  else begin
+    let target =
+      let x = int_of_float (ceil (q *. float_of_int total)) in
+      if x < 1 then 1 else if x > total then total else x
+    in
+    let cum = ref 0 in
+    let b = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + bs.(i);
+         if !cum >= target then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    snd (bounds !b)
+  end
+
+let max_value t = quantile t 1.0
+
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+let nonzero_buckets t =
+  let bs = merged_buckets t in
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if bs.(i) <> 0 then begin
+      let lo, hi = bounds i in
+      acc := (lo, hi, bs.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let reset t =
+  Array.iter
+    (fun cell ->
+      match Atomic.get cell with
+      | None -> ()
+      | Some s ->
+        Array.iter (fun c -> Atomic.set c 0) s.buckets;
+        Atomic.set s.sum 0)
+    t.shards

@@ -1,0 +1,69 @@
+(** Span tracing: named timed intervals recorded into a bounded ring
+    buffer (oldest spans are overwritten once the buffer is full, so
+    long-running processes cannot leak).
+
+    Spans are meant for cold or coarse events — recovery phases, leaf
+    splits under instrumentation, restarts — not per-access traffic;
+    the buffer is mutex-protected, which is irrelevant at those rates
+    and keeps the ring exact. *)
+
+type span = {
+  name : string;
+  start_us : float;  (** [Unix.gettimeofday]-based, microseconds *)
+  dur_us : float;
+  domain : int;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let capacity = 4096
+
+type ring = {
+  buf : span option array;
+  mutable next : int;  (** monotone write cursor (mod capacity) *)
+  lock : Mutex.t;
+}
+
+let ring = { buf = Array.make capacity None; next = 0; lock = Mutex.create () }
+
+let record ~name ~start_us ~dur_us =
+  let s =
+    { name; start_us; dur_us; domain = (Domain.self () :> int) }
+  in
+  Mutex.lock ring.lock;
+  ring.buf.(ring.next mod capacity) <- Some s;
+  ring.next <- ring.next + 1;
+  Mutex.unlock ring.lock
+
+(** Run [f] and record its wall-clock duration as a span named [name].
+    Always records: intended for cold paths (recovery, restart); warm
+    call sites gate on {!Gate.enabled} themselves. *)
+let with_span name f =
+  let t0 = now_us () in
+  match f () with
+  | r ->
+    record ~name ~start_us:t0 ~dur_us:(now_us () -. t0);
+    r
+  | exception e ->
+    record ~name ~start_us:t0 ~dur_us:(now_us () -. t0);
+    raise e
+
+(** All retained spans, oldest first. *)
+let dump () =
+  Mutex.lock ring.lock;
+  let n = ring.next in
+  let first = if n > capacity then n - capacity else 0 in
+  let acc = ref [] in
+  for i = n - 1 downto first do
+    match ring.buf.(i mod capacity) with
+    | Some s -> acc := s :: !acc
+    | None -> ()
+  done;
+  Mutex.unlock ring.lock;
+  !acc
+
+let clear () =
+  Mutex.lock ring.lock;
+  Array.fill ring.buf 0 capacity None;
+  ring.next <- 0;
+  Mutex.unlock ring.lock

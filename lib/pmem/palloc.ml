@@ -46,6 +46,26 @@ let log_idle = 0L
 let log_alloc = 1L
 let log_free = 2L
 
+(* Process-wide allocator telemetry (all arenas aggregated); the
+   per-arena [alloc_count]/[free_count] stay volatile fields. *)
+let g_allocs =
+  Obs.Registry.counter "pmem_alloc_total"
+    ~help:"persistent allocations completed (all arenas)"
+
+let g_frees =
+  Obs.Registry.counter "pmem_free_total"
+    ~help:"persistent frees completed (all arenas)"
+
+let g_leaked = Atomic.make 0
+
+let () =
+  Obs.Registry.gauge "pmem_live_objects"
+    ~help:"allocations minus frees (all arenas)" (fun () ->
+      Obs.Counter.value g_allocs - Obs.Counter.value g_frees);
+  Obs.Registry.gauge "pmem_leaked_objects"
+    ~help:"orphaned blocks found by the most recent leak audit" (fun () ->
+      Atomic.get g_leaked)
+
 type t = {
   region : Region.t;
   mutex : Mutex.t;
@@ -161,7 +181,8 @@ let alloc t ~(into : Pptr.Loc.loc) size =
     (Pptr.of_region r ~off:(payload_of_block block));
   (* 5. retire the log *)
   log_clear t;
-  t.allocs <- t.allocs + 1
+  t.allocs <- t.allocs + 1;
+  Obs.Counter.incr g_allocs
 
 let free t ~(from : Pptr.Loc.loc) =
   Mutex.lock t.mutex;
@@ -185,7 +206,8 @@ let free t ~(from : Pptr.Loc.loc) =
   write_head t units block;
   (* 4. retire the log *)
   log_clear t;
-  t.frees <- t.frees + 1
+  t.frees <- t.frees + 1;
+  Obs.Counter.incr g_frees
 
 (* ---- recovery ---- *)
 
@@ -295,7 +317,9 @@ let leaked_blocks t ~reachable =
   iter_blocks t (fun ~payload ~bytes:_ ~allocated ->
       if allocated && not (Hashtbl.mem set payload) then
         leaks := payload :: !leaks);
-  List.rev !leaks
+  let r = List.rev !leaks in
+  Atomic.set g_leaked (List.length r);
+  r
 
 let alloc_count t = t.allocs
 let free_count t = t.frees

@@ -120,7 +120,7 @@ let touch_lines t off len =
       let slot = line mod cache_slots in
       if t.cache_tags.(slot) <> line then begin
         t.cache_tags.(slot) <- line;
-        incr Stats.line_reads;
+        Stats.incr_line_reads ();
         Latency.on_scm_read_miss ()
       end
     done
@@ -362,7 +362,7 @@ let fill t off len c =
 
 (* ---- persistence primitives ---- *)
 
-let fence _t = if Config.current.stats then incr Stats.fences
+let fence _t = if Config.current.stats then Stats.incr_fences ()
 
 (** Flush the cache lines overlapping [off, off+len) and fence: the
     Persist() primitive of Section 2 (CLFLUSH wrapped in MFENCEs).  If a
@@ -388,16 +388,16 @@ let persist t off len =
   end
   else begin
     if Config.current.stats then begin
-      incr Stats.persists;
-      incr Stats.fences
+      Stats.incr_persists ();
+      Stats.incr_fences ()
     end;
     if len > 0 then begin
       let first = Cacheline.line_of_offset off in
       let last = Cacheline.line_of_offset (off + len - 1) in
       for line = first to last do
         if Config.current.stats then begin
-          incr Stats.flushes;
-          incr Stats.line_writes
+          Stats.incr_flushes ();
+          Stats.incr_line_writes ()
         end;
         Latency.on_scm_write_back ();
         (* CLFLUSH evicts the line from the simulated cache. *)

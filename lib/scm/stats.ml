@@ -3,7 +3,15 @@
     Counts cache-line-granularity events.  Benches convert a counter
     snapshot into "modeled time" for a given SCM latency, which is how
     the latency sweeps of Figures 7, 12 and 14 are reproduced without
-    the paper's BIOS-level latency emulator. *)
+    the paper's BIOS-level latency emulator.
+
+    The live counters are domain-sharded ({!Obs.Counter}): each domain
+    increments its own padded atomic slot, so totals are exact under
+    parallel benches — the seed's plain refs silently lost increments
+    there, which is why concurrent runs used to disable counting to
+    report wall-clock only.  The counters are also registered in the
+    {!Obs.Registry} (names [scm_*_total]), so a metrics dump carries
+    the same numbers, including the per-domain breakdown. *)
 
 type snapshot = {
   line_reads : int;   (** SCM lines loaded on a simulated cache miss. *)
@@ -15,24 +23,43 @@ type snapshot = {
 
 let zero = { line_reads = 0; line_writes = 0; flushes = 0; fences = 0; persists = 0 }
 
-(* Plain refs: exact in single-threaded runs; under domains the counts
-   are approximate, which is acceptable because concurrent benches
-   report wall-clock throughput, not modeled time. *)
-let line_reads = ref 0
-let line_writes = ref 0
-let flushes = ref 0
-let fences = ref 0
-let persists = ref 0
+let line_reads_c =
+  Obs.Registry.counter "scm_line_reads_total"
+    ~help:"SCM lines loaded on simulated cache misses"
+
+let line_writes_c =
+  Obs.Registry.counter "scm_line_writes_total"
+    ~help:"SCM lines written back by flushes"
+
+let flushes_c =
+  Obs.Registry.counter "scm_flushes_total" ~help:"CLFLUSH-equivalent calls"
+
+let fences_c =
+  Obs.Registry.counter "scm_fences_total" ~help:"MFENCE-equivalent calls"
+
+let persists_c =
+  Obs.Registry.counter "scm_persists_total"
+    ~help:"persist() calls (flush+fence pairs)"
+
+let[@inline] incr_line_reads () = Obs.Counter.incr line_reads_c
+let[@inline] incr_line_writes () = Obs.Counter.incr line_writes_c
+let[@inline] incr_flushes () = Obs.Counter.incr flushes_c
+let[@inline] incr_fences () = Obs.Counter.incr fences_c
+let[@inline] incr_persists () = Obs.Counter.incr persists_c
 
 let reset () =
-  line_reads := 0; line_writes := 0; flushes := 0; fences := 0; persists := 0
+  Obs.Counter.reset line_reads_c;
+  Obs.Counter.reset line_writes_c;
+  Obs.Counter.reset flushes_c;
+  Obs.Counter.reset fences_c;
+  Obs.Counter.reset persists_c
 
 let snapshot () = {
-  line_reads = !line_reads;
-  line_writes = !line_writes;
-  flushes = !flushes;
-  fences = !fences;
-  persists = !persists;
+  line_reads = Obs.Counter.value line_reads_c;
+  line_writes = Obs.Counter.value line_writes_c;
+  flushes = Obs.Counter.value flushes_c;
+  fences = Obs.Counter.value fences_c;
+  persists = Obs.Counter.value persists_c;
 }
 
 let diff a b = {

@@ -12,13 +12,16 @@ type snapshot = {
 
 val zero : snapshot
 
-(* Live counters (plain refs: exact single-threaded, approximate and
-   harmless under domains — parallel benches disable counting). *)
-val line_reads : int ref
-val line_writes : int ref
-val flushes : int ref
-val fences : int ref
-val persists : int ref
+(* Live counters are domain-sharded (Obs.Counter): exact totals both
+   single-threaded AND under parallel domains — concurrent benches no
+   longer need to disable counting to avoid lost increments.  They are
+   registered in Obs.Registry as scm_*_total, so a metrics dump shows
+   the same values with a per-domain shard breakdown. *)
+val incr_line_reads : unit -> unit
+val incr_line_writes : unit -> unit
+val incr_flushes : unit -> unit
+val incr_fences : unit -> unit
+val incr_persists : unit -> unit
 
 val reset : unit -> unit
 val snapshot : unit -> snapshot

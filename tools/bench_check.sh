@@ -22,4 +22,48 @@ echo "== hotpath microbench (scale $SCALE) =="
 HOTPATH_LABEL="bench_check" HOTPATH_OUT="/tmp/bench_check_hotpath.json" \
   dune exec bench/main.exe -- --scale "$SCALE" hotpath
 
-echo "== done: /tmp/bench_check_hotpath.json =="
+echo "== observability smoke (instrumented pass + metrics dump) =="
+CLI=_build/default/bin/fptree_cli.exe
+IMG=/tmp/bench_check_tree.scm
+DUMP=/tmp/bench_check_metrics.json
+GDUMP=/tmp/bench_check_metrics_get.json
+rm -f "$IMG" "$DUMP" "$GDUMP"
+"$CLI" create "$IMG" > /dev/null
+"$CLI" fill "$IMG" 20000 --metrics "$DUMP" > /dev/null
+
+# persist accounting must be present and non-zero in the dump
+persists=$("$CLI" metrics "$DUMP" | sed -n 's/^scm_persists_total .*total=\([0-9]*\).*/\1/p')
+if [ -z "$persists" ]; then
+  echo "FAIL: scm_persists_total missing from $DUMP"; exit 1
+fi
+if [ "$persists" -le 0 ]; then
+  echo "FAIL: scm_persists_total is zero in $DUMP"; exit 1
+fi
+echo "   scm_persists_total = $persists"
+
+# a lookup must record probe-count samples with a sane mean (~1 key
+# probe per in-leaf search with fingerprints; <= 2 allows a false
+# positive in this short run)
+"$CLI" get "$IMG" 12345 --metrics "$GDUMP" > /dev/null
+probe_line=$("$CLI" metrics "$GDUMP" | grep '^fptree_probes_per_leaf_search') || {
+  echo "FAIL: fptree_probes_per_leaf_search missing from $GDUMP"; exit 1; }
+probe_count=$(echo "$probe_line" | sed -n 's/.*count=\([0-9]*\).*/\1/p')
+probe_mean=$(echo "$probe_line" | sed -n 's/.*mean=\([0-9.]*\).*/\1/p')
+if [ -z "$probe_count" ] || [ "$probe_count" -le 0 ]; then
+  echo "FAIL: probe histogram recorded no samples"; exit 1
+fi
+if ! awk "BEGIN{exit !($probe_mean >= 1.0 && $probe_mean <= 2.0)}"; then
+  echo "FAIL: probe mean $probe_mean outside [1, 2]"; exit 1
+fi
+echo "   fptree_probes_per_leaf_search: count=$probe_count mean=$probe_mean"
+
+# recovery phases must have been traced as spans
+grep -q 'fptree.recovery.rebuild' "$GDUMP" || {
+  echo "FAIL: no fptree.recovery.rebuild span in $GDUMP"; exit 1; }
+
+# text exposition path
+"$CLI" stats "$IMG" --metrics - --metrics-format text \
+  | grep -q '# TYPE scm_persists_total counter' || {
+  echo "FAIL: text exposition missing scm_persists_total"; exit 1; }
+
+echo "== done: /tmp/bench_check_hotpath.json, $DUMP =="

@@ -10,10 +10,14 @@
      fptree_cli fill    tree.scm N           bulk-insert N sequential pairs
      fptree_cli metrics dump.json            pretty-print a metrics dump
 
+     fptree_cli pmcheck trace.json           analyze a persistence trace
+
    Every command loads the image, recovers the tree (micro-log replay +
    DRAM rebuild), applies the operation, and writes the image back.
    Any command accepts [--metrics PATH] to dump the observability
-   registry (counters, histograms, recovery spans) after it ran. *)
+   registry (counters, histograms, recovery spans) after it ran, and
+   [--trace PATH] to record every SCM store/flush/publication point to
+   a JSON file for the pmcheck analyzer. *)
 
 open Cmdliner
 
@@ -50,19 +54,41 @@ let metrics_format_arg =
         ~doc:"metrics dump format: $(b,json) (round-trippable) or $(b,text) \
               (Prometheus exposition)")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "record the persistence event trace (SCM stores, flushes, \
+           publication points, lock transitions) of this command to $(docv) \
+           as JSON; analyze it with $(b,fptree_cli pmcheck)")
+
 (* Enable the app-level gate only when a dump was requested, so plain
    CLI runs keep the uninstrumented paths. *)
-let with_metrics metrics format f =
+let with_metrics metrics format trace f =
   (match metrics with Some _ -> Obs.Gate.set_enabled true | None -> ());
+  (match trace with
+  | Some _ ->
+    Scm.Config.set_tracing true;
+    Scm.Pmtrace.clear ()
+  | None -> ());
   let r = f () in
   (match metrics with Some p -> Obs.Registry.dump ~format p | None -> ());
+  (match trace with
+  | Some p ->
+    Scm.Config.set_tracing false;
+    let events = Scm.Pmtrace.events () in
+    Pmcheck.Trace_io.save p ~dropped:(Scm.Pmtrace.dropped ()) events;
+    Printf.eprintf "trace: %d events -> %s\n" (Array.length events) p
+  | None -> ());
   r
 
 (* ---- commands ---- *)
 
 let create_cmd =
-  let run metrics format path size_mb =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path size_mb =
+    with_metrics metrics format trace @@ fun () ->
     Scm.Registry.clear ();
     let alloc = Pmem.Palloc.create ~size:(size_mb * 1024 * 1024) () in
     ignore (Fptree.Fixed.create_single alloc);
@@ -73,22 +99,22 @@ let create_cmd =
     Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"arena size in MiB")
   in
   Cmd.v (Cmd.info "create" ~doc:"create an empty persistent tree image")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ size)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ size)
 
 let put_cmd =
-  let run metrics format path k v =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path k v =
+    with_metrics metrics format trace @@ fun () ->
     let region, t = load_tree path in
     if not (Fptree.Fixed.insert t k v) then ignore (Fptree.Fixed.update t k v);
     save region path;
     Printf.printf "%d -> %d\n" k v
   in
   Cmd.v (Cmd.info "put" ~doc:"insert or update a pair")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let get_cmd =
-  let run metrics format path k =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path k =
+    with_metrics metrics format trace @@ fun () ->
     let _, t = load_tree path in
     match Fptree.Fixed.find t k with
     | Some v -> Printf.printf "%d\n" v
@@ -97,33 +123,33 @@ let get_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "get" ~doc:"look a key up")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
 
 let del_cmd =
-  let run metrics format path k =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path k =
+    with_metrics metrics format trace @@ fun () ->
     let region, t = load_tree path in
     let existed = Fptree.Fixed.delete t k in
     save region path;
     print_endline (if existed then "deleted" else "not found")
   in
   Cmd.v (Cmd.info "del" ~doc:"delete a key")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
 
 let range_cmd =
-  let run metrics format path lo hi =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path lo hi =
+    with_metrics metrics format trace @@ fun () ->
     let _, t = load_tree path in
     List.iter
       (fun (k, v) -> Printf.printf "%d %d\n" k v)
       (Fptree.Fixed.range t ~lo ~hi)
   in
   Cmd.v (Cmd.info "range" ~doc:"inclusive range scan")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let stats_cmd =
-  let run metrics format path =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path =
+    with_metrics metrics format trace @@ fun () ->
     let _, t = load_tree path in
     Printf.printf "keys:        %d\n" (Fptree.Fixed.count t);
     Printf.printf "leaves:      %d\n" (Fptree.Fixed.leaf_count t);
@@ -132,11 +158,11 @@ let stats_cmd =
     Printf.printf "DRAM bytes:  %d (rebuilt on recovery)\n" (Fptree.Fixed.dram_bytes t)
   in
   Cmd.v (Cmd.info "stats" ~doc:"tree statistics")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg)
 
 let fill_cmd =
-  let run metrics format path n =
-    with_metrics metrics format @@ fun () ->
+  let run metrics format trace path n =
+    with_metrics metrics format trace @@ fun () ->
     let region, t = load_tree path in
     let base = Fptree.Fixed.count t in
     for i = base + 1 to base + n do
@@ -146,7 +172,7 @@ let fill_cmd =
     Printf.printf "inserted %d pairs (now %d keys)\n" n (Fptree.Fixed.count t)
   in
   Cmd.v (Cmd.info "fill" ~doc:"bulk-insert N sequential pairs")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
 
 (* ---- metrics: pretty-print a saved JSON dump ---- *)
 
@@ -211,9 +237,53 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"pretty-print a saved JSON metrics dump")
     Term.(const run $ dump_arg)
 
+(* ---- pmcheck: analyze a saved persistence trace ---- *)
+
+let pmcheck_cmd =
+  let run path quiet =
+    let events =
+      match Pmcheck.Trace_io.load path with
+      | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "%s: not a JSON trace (%s)\n" path msg;
+        exit 1
+      | exception Pmcheck.Trace_io.Bad_trace msg ->
+        Printf.eprintf "%s: bad trace (%s)\n" path msg;
+        exit 1
+      | ev -> ev
+    in
+    let findings = Pmcheck.Analyzer.analyze events in
+    let by_class = Pmcheck.Analyzer.summary findings in
+    Printf.printf "%d events, %d findings\n" (Array.length events)
+      (List.length findings);
+    List.iter (fun (cls, n) -> Printf.printf "  %-24s %d\n" cls n) by_class;
+    if not quiet then
+      List.iter
+        (fun f ->
+          Format.printf "%a@." Pmcheck.Analyzer.pp_finding f)
+        findings;
+    if Pmcheck.Analyzer.errors findings <> [] then exit 2
+  in
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"a JSON trace written by --trace")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "summary" ] ~doc:"print only per-class counts")
+  in
+  Cmd.v
+    (Cmd.info "pmcheck"
+       ~doc:
+         "analyze a persistence trace for crash-consistency violations \
+          (missing persists, unlogged link writes, lock races, redundant \
+          flushes); exits 2 if any error-severity finding is present")
+    Term.(const run $ trace_pos $ quiet)
+
 let () =
   let info = Cmd.info "fptree_cli" ~doc:"persistent FPTree image tool" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd; metrics_cmd ]))
+          [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd;
+            metrics_cmd; pmcheck_cmd ]))

@@ -71,7 +71,10 @@ let read_bitmap r ~leaf t = Scm.Region.read_word r (leaf + t.bitmap_off)
     point at which an insert/delete/update becomes visible and durable. *)
 let commit_bitmap r ~leaf t bm =
   Scm.Region.write_word_atomic r (leaf + t.bitmap_off) bm;
-  Scm.Region.persist r (leaf + t.bitmap_off) 8
+  Scm.Region.persist r (leaf + t.bitmap_off) 8;
+  if Scm.Pmtrace.enabled () then
+    Scm.Pmtrace.publish ~region:(Scm.Region.id r) ~off:(leaf + t.bitmap_off)
+      ~len:8 "bitmap"
 
 let bitmap_count bm =
   let rec go bm acc = if bm = 0 then acc else go (bm lsr 1) (acc + (bm land 1)) in
@@ -117,9 +120,15 @@ let persist_fp r ~leaf t slot = Scm.Region.persist r (leaf + t.fp_off + slot) 1
 
 let read_next r ~leaf t = Pmem.Pptr.read r (leaf + t.next_off)
 
+(* The 16-byte next-pointer overwrite is not p-atomic; it is legal only
+   under an armed micro-log (SplitLeaf step 8, DeleteLeaf step 4), which
+   is exactly what the pmcheck analyzer verifies via this annotation. *)
 let write_next_persist r ~leaf t p =
   Pmem.Pptr.write r (leaf + t.next_off) p;
-  Scm.Region.persist r (leaf + t.next_off) Pmem.Pptr.size_bytes
+  Scm.Region.persist r (leaf + t.next_off) Pmem.Pptr.size_bytes;
+  if Scm.Pmtrace.enabled () then
+    Scm.Pmtrace.link_write ~region:(Scm.Region.id r) ~off:(leaf + t.next_off)
+      ~len:Pmem.Pptr.size_bytes
 
 (* ---- whole-leaf helpers ---- *)
 

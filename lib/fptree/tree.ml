@@ -299,8 +299,22 @@ module Make (K : Keys.KEY) = struct
 
   (* ---- leaf locks (volatile; Selective Concurrency) ---- *)
 
-  let try_lock (l : Inner.leaf_ref) = Atomic.compare_and_set l.Inner.lock false true
-  let unlock (l : Inner.leaf_ref) = Atomic.set l.Inner.lock false
+  (* The lock-transition trace events bracket the lock's critical
+     section from the analyzer's point of view: acquire is announced
+     after a successful CAS, release before the flag drops — so another
+     domain's acquire can never appear before our release in the trace
+     order. *)
+  let try_lock t (l : Inner.leaf_ref) =
+    let ok = Atomic.compare_and_set l.Inner.lock false true in
+    if ok && Scm.Pmtrace.enabled () then
+      Scm.Pmtrace.lock_acquire ~region:(Region.id (region t)) ~leaf:l.Inner.off;
+    ok
+
+  let unlock t (l : Inner.leaf_ref) =
+    if Scm.Pmtrace.enabled () then
+      Scm.Pmtrace.lock_release ~region:(Region.id (region t)) ~leaf:l.Inner.off;
+    Atomic.set l.Inner.lock false
+
   let is_locked (l : Inner.leaf_ref) = Atomic.get l.Inner.lock
 
   (* ---- leaf groups (Section 4.3 and Appendix B) ---- *)
@@ -456,6 +470,8 @@ module Make (K : Keys.KEY) = struct
   (** FreeLeaf (Algorithm 12): return a leaf to the volatile pool and
       deallocate its group once fully free. *)
   let free_leaf t l =
+    if Scm.Pmtrace.enabled () then
+      Scm.Pmtrace.leaf_retired ~region:(Region.id (region t)) ~leaf:l;
     add_free_leaf t l;
     let g = Hashtbl.find t.leaf_group l in
     if !(Hashtbl.find t.group_free g) = t.config.group_size then free_group t g
@@ -663,6 +679,9 @@ module Make (K : Keys.KEY) = struct
        free_leaf t leaf.Inner.off
      end
      else begin
+       if Scm.Pmtrace.enabled () then
+         Scm.Pmtrace.leaf_retired ~region:(Region.id (region t))
+           ~leaf:leaf.Inner.off;
        Pmem.Palloc.free (alloc t) ~from:(Microlog.fst_loc log);
        Microlog.reset log
      end);
@@ -730,10 +749,10 @@ module Make (K : Keys.KEY) = struct
             lock_attempt t k (attempt + 1)
           end
         | leaf ->
-          if try_lock leaf then
+          if try_lock t leaf then
             if Spec.read_validate t.spec v0 then leaf
             else begin
-              unlock leaf;
+              unlock t leaf;
               Spec.note_conflict t.spec;
               Spec.note_abort t.spec;
               Spec.relax ();
@@ -756,7 +775,7 @@ module Make (K : Keys.KEY) = struct
 
   and lock_leaf_fallback_locked t k =
     let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
-    if try_lock leaf then begin
+    if try_lock t leaf then begin
       Spec.unlock_fallback t.spec;
       leaf
     end
@@ -893,12 +912,26 @@ module Make (K : Keys.KEY) = struct
     write_entry t leaf slot k v h;
     Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot))
 
-  let insert t k v =
+  (* pmcheck scope: attribute trace events to the operation and bound
+     the analyzer's dirty-at-publication check.  The closure is built
+     only when tracing — the untraced entry points stay direct calls,
+     preserving the allocation-free hot paths. *)
+  let scoped name f =
+    Scm.Pmtrace.scope_begin name;
+    match f () with
+    | r ->
+      Scm.Pmtrace.scope_end name;
+      r
+    | exception e ->
+      Scm.Pmtrace.scope_end name;
+      raise e
+
+  let insert_op t k v =
     if stats_on () then t.stats.inserts <- t.stats.inserts + 1;
     let h = K.fingerprint k in
     let leaf = lock_leaf_for t k in
     if find_slot t leaf.Inner.off k h >= 0 then begin
-      unlock leaf;
+      unlock t leaf;
       false (* unique-key tree: duplicate insert is a no-op *)
     end
     else begin
@@ -908,23 +941,27 @@ module Make (K : Keys.KEY) = struct
         insert_into_nonfull t target.Inner.off k v h;
         Spec.with_write t.spec (fun () ->
             Inner.update_parents t.inner K.compare ~sep ~right);
-        unlock leaf;
+        unlock t leaf;
         true
       end
       else begin
         insert_into_nonfull t leaf.Inner.off k v h;
-        unlock leaf;
+        unlock t leaf;
         true
       end
     end
 
-  let update t k v =
+  let insert t k v =
+    if Scm.Pmtrace.enabled () then scoped "insert" (fun () -> insert_op t k v)
+    else insert_op t k v
+
+  let update_op t k v =
     if stats_on () then t.stats.updates <- t.stats.updates + 1;
     let h = K.fingerprint k in
     let leaf = lock_leaf_for t k in
     let prev_slot0 = find_slot t leaf.Inner.off k h in
     if prev_slot0 < 0 then begin
-      unlock leaf;
+      unlock t leaf;
       false
     end
     else begin
@@ -971,29 +1008,33 @@ module Make (K : Keys.KEY) = struct
         Spec.with_write t.spec (fun () ->
             Inner.update_parents t.inner K.compare ~sep ~right)
       | _ -> ());
-      unlock leaf;
+      unlock t leaf;
       true
     end
+
+  let update t k v =
+    if Scm.Pmtrace.enabled () then scoped "update" (fun () -> update_op t k v)
+    else update_op t k v
 
   type delete_decision =
     | Del_in_leaf of Inner.leaf_ref
     | Del_whole_leaf of Inner.leaf_ref * Inner.leaf_ref option
 
-  let delete t k =
+  let delete_op t k =
     if stats_on () then t.stats.deletes <- t.stats.deletes + 1;
     let h = K.fingerprint k in
     let rollback = function
-      | Del_in_leaf l -> unlock l
+      | Del_in_leaf l -> unlock t l
       | Del_whole_leaf (l, p) ->
-        unlock l;
-        Option.iter unlock p
+        unlock t l;
+        Option.iter (unlock t) p
     in
     let decision =
       Spec.with_txn t.spec ~on_rollback:rollback (fun () ->
           let leaf, prev =
             Inner.find_leaf_and_prev K.compare t.inner.Inner.root k
           in
-          if not (try_lock leaf) then Spec.Abort
+          if not (try_lock t leaf) then Spec.Abort
           else begin
             (* Content is stable now that the lock is held. *)
             let bm = leaf_bitmap t leaf.Inner.off in
@@ -1008,9 +1049,9 @@ module Make (K : Keys.KEY) = struct
               match prev with
               | None -> Spec.Commit (Del_whole_leaf (leaf, None))
               | Some p ->
-                if try_lock p then Spec.Commit (Del_whole_leaf (leaf, Some p))
+                if try_lock t p then Spec.Commit (Del_whole_leaf (leaf, Some p))
                 else begin
-                  unlock leaf;
+                  unlock t leaf;
                   Spec.Abort
                 end
             else Spec.Commit (Del_in_leaf leaf)
@@ -1020,7 +1061,7 @@ module Make (K : Keys.KEY) = struct
     | Del_in_leaf leaf ->
       let slot = find_slot t leaf.Inner.off k h in
       if slot < 0 then begin
-        unlock leaf;
+        unlock t leaf;
         false
       end
       else begin
@@ -1028,7 +1069,7 @@ module Make (K : Keys.KEY) = struct
         Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
           (bm land lnot (1 lsl slot));
         K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot);
-        unlock leaf;
+        unlock t leaf;
         true
       end
     | Del_whole_leaf (leaf, prev) ->
@@ -1044,8 +1085,12 @@ module Make (K : Keys.KEY) = struct
        end);
       Spec.with_write t.spec (fun () -> Inner.remove_leaf t.inner K.compare k);
       delete_leaf t leaf prev;
-      Option.iter unlock prev;
+      Option.iter (unlock t) prev;
       true
+
+  let delete t k =
+    if Scm.Pmtrace.enabled () then scoped "delete" (fun () -> delete_op t k)
+    else delete_op t k
 
   (** Inclusive range scan via the leaf linked list.  Reads are dirty
       (no leaf locks taken); the result is sorted.  The leaf chain is
@@ -1255,6 +1300,34 @@ module Make (K : Keys.KEY) = struct
     lor (if cfg.split_arrays then 2 else 0)
     lor (if cfg.use_groups then 4 else 0)
 
+  (* The seven configuration words live in one contiguous span
+     ([meta_m, meta_group_size]) with no ordering constraints among
+     them — nothing reads them until [meta_status] (written last, with
+     its own persist) flips to 1.  Batching them under a single persist
+     replaces 7 flush+fence pairs with 1: a batchable-flush finding of
+     the pmcheck analyzer on the creation path. *)
+  let write_meta_config t cfg =
+    let r = region t in
+    let w off v = Region.write_int64_atomic r (t.meta + off) (Int64.of_int v) in
+    w meta_m cfg.m;
+    w meta_value_bytes cfg.value_bytes;
+    w meta_key_kind K.kind;
+    w meta_flags (flags_of cfg);
+    w meta_n_split cfg.n_split_logs;
+    w meta_n_delete cfg.n_delete_logs;
+    w meta_group_size cfg.group_size;
+    Region.persist r (t.meta + meta_m) (meta_group_size + 8 - meta_m)
+
+  (* pmcheck bootstrap: drop stale lock/leaf tracking (recovery writes
+     without leaf locks by design) and announce the leaf extent size so
+     the analyzer can map stores to leaves. *)
+  let trace_tree_layout t =
+    if Scm.Pmtrace.enabled () then begin
+      let region = Region.id (region t) in
+      Scm.Pmtrace.track_reset ~region;
+      Scm.Pmtrace.leaf_layout ~region ~bytes:t.layout.Layout.bytes
+    end
+
   let config_of_meta region meta base_cfg =
     let w off = Int64.to_int (Region.read_int64 region (meta + off)) in
     let flags = w meta_flags in
@@ -1271,7 +1344,7 @@ module Make (K : Keys.KEY) = struct
 
   (** Create a fresh tree in [alloc]'s region.  The tree descriptor is
       anchored at the allocator root. *)
-  let create ?(config = fptree_config) alloc =
+  let create_op ?(config = fptree_config) alloc =
     let region = Pmem.Palloc.region alloc in
     if not (Pptr.is_null (Pmem.Palloc.root alloc)) then
       failwith "Tree.create: region already holds a tree (use recover)";
@@ -1282,19 +1355,19 @@ module Make (K : Keys.KEY) = struct
     Region.persist region meta (meta_bytes config);
     let ctx = { Keys.region; alloc } in
     let t = build_volatile ctx config meta in
-    write_meta_word t meta_m config.m;
-    write_meta_word t meta_value_bytes config.value_bytes;
-    write_meta_word t meta_key_kind K.kind;
-    write_meta_word t meta_flags (flags_of config);
-    write_meta_word t meta_n_split config.n_split_logs;
-    write_meta_word t meta_n_delete config.n_delete_logs;
-    write_meta_word t meta_group_size config.group_size;
+    trace_tree_layout t;
+    write_meta_config t config;
     complete_init t;
     let first = (read_head t).Pptr.off in
     t.inner <-
       Inner.create ~fanout:(config.inner_keys + 1) ~dummy_key:K.dummy
         (Inner.leaf_ref first);
     t
+
+  let create ?config alloc =
+    if Scm.Pmtrace.enabled () then
+      scoped "create" (fun () -> create_op ?config alloc)
+    else create_op ?config alloc
 
   (* Rebuild the volatile side from the persistent leaves: Algorithm 9
      (and the leak audit of Algorithm 17 for var keys). *)
@@ -1374,18 +1447,13 @@ module Make (K : Keys.KEY) = struct
     end;
     let ctx = { Keys.region; alloc } in
     let t = build_volatile ctx cfg meta in
+    trace_tree_layout t;
     (* The recovery phases are timed as spans (Fig. 11: the paper's
        recovery-time claim is that log replay is O(logs) and the DRAM
        rebuild dominates, linear in leaves). *)
     if not initialized then
       Obs.Trace.with_span "fptree.recovery.init" (fun () ->
-          write_meta_word t meta_m cfg.m;
-          write_meta_word t meta_value_bytes cfg.value_bytes;
-          write_meta_word t meta_key_kind K.kind;
-          write_meta_word t meta_flags (flags_of cfg);
-          write_meta_word t meta_n_split cfg.n_split_logs;
-          write_meta_word t meta_n_delete cfg.n_delete_logs;
-          write_meta_word t meta_group_size cfg.group_size;
+          write_meta_config t cfg;
           complete_init t)
     else
       Obs.Trace.with_span "fptree.recovery.log_replay" (fun () ->

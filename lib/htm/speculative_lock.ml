@@ -190,10 +190,16 @@ let relax = cpu_relax
     fallback.  The caller must pair it with {!unlock_fallback}. *)
 let lock_fallback t =
   count_fallback t;
-  Mutex.lock t.fallback
+  Mutex.lock t.fallback;
+  if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_lock ()
 
-let relock_fallback t = Mutex.lock t.fallback
-let unlock_fallback t = Mutex.unlock t.fallback
+let relock_fallback t =
+  Mutex.lock t.fallback;
+  if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_lock ()
+
+let unlock_fallback t =
+  if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_unlock ();
+  Mutex.unlock t.fallback
 
 (** Run [f] as a writing transaction.  Writers to the transient
     structure always serialize on the mutex and invalidate concurrent
@@ -204,8 +210,10 @@ let unlock_fallback t = Mutex.unlock t.fallback
 let with_write t f =
   Mutex.lock t.fallback;
   Atomic.incr t.version;
+  if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_begin ();
   Fun.protect
     ~finally:(fun () ->
+      if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_end ();
       Atomic.incr t.version;
       Mutex.unlock t.fallback)
     f

@@ -137,12 +137,19 @@ let parse s =
         | 'b' -> Buffer.add_char b '\b'
         | 'f' -> Buffer.add_char b '\012'
         | 'u' ->
+          (* exactly four hex digits: [int_of_string "0x..."] alone is
+             too lenient (it accepts underscores and signs) *)
           if !pos + 4 >= n then fail "bad \\u escape";
           let hex = String.sub s (!pos + 1) 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
-          | Some _ -> Buffer.add_char b '?' (* non-ASCII: not emitted by us *)
-          | None -> fail "bad \\u escape");
+          let digit c =
+            match c with
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+            | _ -> false
+          in
+          if not (String.for_all digit hex) then fail "bad \\u escape";
+          let c = int_of_string ("0x" ^ hex) in
+          if c < 0x80 then Buffer.add_char b (Char.chr c)
+          else Buffer.add_char b '?' (* non-ASCII: not emitted by us *);
           pos := !pos + 4
         | _ -> fail "bad escape");
         advance ();

@@ -1,0 +1,160 @@
+(** Exhaustive crash-state enumeration and missing-persist fault
+    injection (the dynamic half of pmcheck).
+
+    [sweep_crash_states] generalizes test/test_crash.ml: run a setup
+    prefix crash-free, then replay the measured operations with a crash
+    injected at every persist boundary in turn (n = 1, 2, ... until the
+    sequence completes), dropping all unflushed words, recovering, and
+    checking structural invariants, key-set durability against a model,
+    leak-freedom and post-recovery usability.  Violations raise
+    {!Check_failed}.
+
+    [sweep_missing_persist] proves the static analyzer has teeth: it
+    re-runs the same operations once per persist site with that single
+    persist silently suppressed ({!Scm.Config.schedule_persist_skip})
+    and counts how many injections the {!Analyzer} flags as a
+    missing-persist violation. *)
+
+module F = Fptree.Fixed
+
+type op = Ins of int * int | Upd of int * int | Del of int
+
+exception Check_failed of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Check_failed s)) fmt
+
+let apply_tree t = function
+  | Ins (k, v) -> ignore (F.insert t k v)
+  | Upd (k, v) -> ignore (F.update t k v)
+  | Del k -> ignore (F.delete t k)
+
+let apply_model m = function
+  | Ins (k, v) -> if not (Hashtbl.mem m k) then Hashtbl.replace m k v
+  | Upd (k, v) -> if Hashtbl.mem m k then Hashtbl.replace m k v
+  | Del k -> Hashtbl.remove m k
+
+(* The recovered tree must equal the model, or the model with the
+   in-flight operation applied (operation atomicity). *)
+let consistent_with t m pending =
+  let matches model =
+    let ok = ref (F.count t = Hashtbl.length model) in
+    Hashtbl.iter (fun k v -> if F.find t k <> Some v then ok := false) model;
+    !ok
+  in
+  matches m
+  ||
+  match pending with
+  | None -> false
+  | Some op ->
+    let m' = Hashtbl.copy m in
+    apply_model m' op;
+    matches m'
+
+let default_arena = 32 * 1024 * 1024
+
+(* ---- crash-state enumeration ---- *)
+
+type crash_report = { crash_points : int }
+
+(* Returns [false] when the sequence completed without reaching crash
+   point [n] — the sweep is exhausted. *)
+let crash_run ~mode ~arena_bytes ~config ~setup ~ops n =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:arena_bytes () in
+  let t = F.create ~config a in
+  let m = Hashtbl.create 64 in
+  List.iter (fun op -> apply_tree t op; apply_model m op) setup;
+  Scm.Config.schedule_crash_after n;
+  let pending = ref None in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun op ->
+         pending := Some op;
+         apply_tree t op;
+         apply_model m op;
+         pending := None)
+       ops
+   with Scm.Config.Crash_injected -> crashed := true);
+  Scm.Config.disarm_crash ();
+  if not !crashed then false
+  else begin
+    Scm.Region.crash ~mode (Pmem.Palloc.region a);
+    let a' = Pmem.Palloc.of_region (Pmem.Palloc.region a) in
+    let t2 = F.recover ~config a' in
+    F.check_invariants t2;
+    if not (consistent_with t2 m !pending) then
+      failf "crash at persist %d: tree inconsistent with model" n;
+    (match Pmem.Palloc.leaked_blocks a' ~reachable:(F.reachable_blocks t2) with
+    | [] -> ()
+    | l -> failf "crash at persist %d: %d leaked blocks" n (List.length l));
+    ignore (F.insert t2 987_654_321 1);
+    if F.find t2 987_654_321 <> Some 1 then
+      failf "crash at persist %d: tree unusable after recovery" n;
+    true
+  end
+
+let sweep_crash_states ?(mode = Scm.Config.Revert_all_dirty)
+    ?(arena_bytes = default_arena) ~config ~setup ops =
+  let n = ref 1 in
+  while crash_run ~mode ~arena_bytes ~config ~setup ~ops !n do
+    incr n
+  done;
+  { crash_points = !n - 1 }
+
+(* ---- missing-persist fault injection ---- *)
+
+type injection_report = {
+  injected : int;  (** runs in which the scheduled skip actually fired *)
+  detected : int;  (** of those, runs the analyzer flagged *)
+  clean_findings : Analyzer.finding list;
+      (** analyzer output on the uninjected trace of the same script *)
+}
+
+(* One traced run; [inject = Some i] suppresses the i-th persist of the
+   measured phase.  Returns whether the injection fired and the trace. *)
+let traced_run ~arena_bytes ~config ~setup ~ops ~inject =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Config.set_tracing true;
+  Scm.Pmtrace.clear ();
+  let a = Pmem.Palloc.create ~size:arena_bytes () in
+  let t = F.create ~config a in
+  let m = Hashtbl.create 64 in
+  List.iter (fun op -> apply_tree t op; apply_model m op) setup;
+  (match inject with
+  | None -> ()
+  | Some i -> Scm.Config.schedule_persist_skip i);
+  List.iter (fun op -> apply_tree t op; apply_model m op) ops;
+  let fired =
+    inject <> None && Scm.Config.current.Scm.Config.skip_nth_persist = None
+  in
+  Scm.Config.cancel_persist_skip ();
+  Scm.Config.set_tracing false;
+  let events = Scm.Pmtrace.events () in
+  Scm.Pmtrace.clear ();
+  (fired, events)
+
+let is_missing_persist (f : Analyzer.finding) =
+  f.Analyzer.cls = "missing-persist" || f.Analyzer.cls = "missing-persist-at-end"
+
+let sweep_missing_persist ?(arena_bytes = default_arena) ~config ~setup ops =
+  let _, clean_events = traced_run ~arena_bytes ~config ~setup ~ops ~inject:None in
+  let clean_findings = Analyzer.analyze clean_events in
+  let injected = ref 0 and detected = ref 0 in
+  let exhausted = ref false in
+  let i = ref 1 in
+  while not !exhausted do
+    let fired, events =
+      traced_run ~arena_bytes ~config ~setup ~ops ~inject:(Some !i)
+    in
+    if not fired then exhausted := true
+    else begin
+      incr injected;
+      if List.exists is_missing_persist (Analyzer.analyze events) then
+        incr detected
+    end;
+    incr i
+  done;
+  { injected = !injected; detected = !detected; clean_findings }

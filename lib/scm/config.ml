@@ -33,10 +33,18 @@ type t = {
   mutable delay_injection : bool;
       (** Busy-wait [scm_read_ns - dram_read_ns] on each simulated SCM
           miss, so wall-clock time directly reflects the latency knob. *)
+  mutable tracing : bool;
+      (** Record every SCM store, flush and persistence annotation in
+          {!Pmtrace} (the pmcheck sanitizer's input). *)
   mutable crash_after_persists : int option;
       (** [Some n]: the n-th subsequent persist raises {!Crash_injected}
           (1-based; [Some 1] fails the very next persist). *)
   mutable persist_count : int;
+  mutable skip_nth_persist : int option;
+      (** Fault injection for pmcheck: [Some n] silently turns the n-th
+          subsequent persist into a no-op — the "forgotten Persist()"
+          mutation the trace analyzer must catch. *)
+  mutable skip_count : int;
 }
 
 let default () = {
@@ -46,8 +54,11 @@ let default () = {
   crash_tracking = true;
   stats = true;
   delay_injection = false;
+  tracing = false;
   crash_after_persists = None;
   persist_count = 0;
+  skip_nth_persist = None;
+  skip_count = 0;
 }
 
 let current = default ()
@@ -77,6 +88,12 @@ let set_delay_injection b =
     incr mode_generation
   end
 
+let set_tracing b =
+  if current.tracing <> b then begin
+    current.tracing <- b;
+    incr mode_generation
+  end
+
 let reset () =
   let d = default () in
   current.scm_read_ns <- d.scm_read_ns;
@@ -85,8 +102,11 @@ let reset () =
   set_crash_tracking d.crash_tracking;
   set_stats d.stats;
   set_delay_injection d.delay_injection;
+  set_tracing d.tracing;
   current.crash_after_persists <- d.crash_after_persists;
-  current.persist_count <- d.persist_count
+  current.persist_count <- d.persist_count;
+  current.skip_nth_persist <- d.skip_nth_persist;
+  current.skip_count <- d.skip_count
 
 let set_latency ?write_ns ~read_ns () =
   current.scm_read_ns <- read_ns;
@@ -98,6 +118,27 @@ let schedule_crash_after n =
   current.crash_after_persists <- Some n
 
 let disarm_crash () = current.crash_after_persists <- None
+
+(** Arm the missing-persist injector: the [n]-th persist from now is
+    silently dropped (no flush, no trace event, no crash-point). *)
+let schedule_persist_skip n =
+  current.skip_count <- 0;
+  current.skip_nth_persist <- Some n
+
+let cancel_persist_skip () = current.skip_nth_persist <- None
+
+(** Called by [Region.persist] before anything else; [true] means this
+    persist must be dropped entirely. *)
+let persist_skipped () =
+  match current.skip_nth_persist with
+  | None -> false
+  | Some n ->
+    current.skip_count <- current.skip_count + 1;
+    if current.skip_count = n then begin
+      current.skip_nth_persist <- None;
+      true
+    end
+    else false
 
 (** Called by [Region.persist]; raises {!Crash_injected} at the armed
     persistence point. *)

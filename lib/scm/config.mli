@@ -21,8 +21,11 @@ type t = {
   mutable crash_tracking : bool;
   mutable stats : bool;
   mutable delay_injection : bool;
+  mutable tracing : bool;
   mutable crash_after_persists : int option;
   mutable persist_count : int;
+  mutable skip_nth_persist : int option;
+  mutable skip_count : int;
 }
 
 val default : unit -> t
@@ -37,13 +40,17 @@ val default : unit -> t
 val current : t
 
 (** Generation counter of the instrumentation switches; bumped by
-    {!set_stats}, {!set_crash_tracking}, {!set_delay_injection} and
-    {!reset}.  Read per-access by {!Region}'s mode witness check. *)
+    {!set_stats}, {!set_crash_tracking}, {!set_delay_injection},
+    {!set_tracing} and {!reset}.  Read per-access by {!Region}'s mode
+    witness check. *)
 val mode_generation : int ref
 
 val set_stats : bool -> unit
 val set_crash_tracking : bool -> unit
 val set_delay_injection : bool -> unit
+
+(** Enable {!Pmtrace} event recording (pmcheck sanitizer input). *)
+val set_tracing : bool -> unit
 
 val reset : unit -> unit
 val set_latency : ?write_ns:float -> read_ns:float -> unit -> unit
@@ -56,3 +63,15 @@ val disarm_crash : unit -> unit
 
 (** Called by [Region.persist] at each persistence point. *)
 val on_persist : unit -> unit
+
+(** Arm the missing-persist fault injector: the [n]-th persist from now
+    (1-based) is silently dropped — no flush, no trace event, no crash
+    point.  Used by [Pmcheck.Enumerate] to prove the analyzer catches a
+    forgotten [Persist()] in every operation. *)
+val schedule_persist_skip : int -> unit
+
+val cancel_persist_skip : unit -> unit
+
+(** Called by [Region.persist] before anything else; [true] means the
+    current persist must be dropped entirely. *)
+val persist_skipped : unit -> bool

@@ -1,0 +1,168 @@
+(* Persistent-memory event trace: the recorder behind the pmcheck
+   sanitizer (PMTest / Yat style).
+
+   When [Config.current.tracing] is on, the simulator and the tree code
+   append one event per SCM store, flush, publication point, micro-log
+   transition, and leaf-lock transition.  The recorder is deliberately
+   dumb: a single mutex-protected growable array shared by all domains,
+   so events of a concurrent run form one globally ordered history (the
+   mutex makes trace order a legal linearization of the real store
+   order — good enough for the offline analyzer, which only needs *a*
+   consistent interleaving).  Tracing flips every region into its
+   instrumented slow path, so the hot path never sees the mutex.
+
+   Call-site attribution: tree operations push a scope label
+   ([scope_begin "insert"] ... [scope_end]) per domain; every event
+   records the innermost label of its domain at append time.  The
+   analyzer additionally uses scope boundaries to delimit the dirty-word
+   lifetime checks. *)
+
+type kind =
+  | Store of { off : int; len : int; silent : bool }
+      (** SCM write.  [silent] = the bytes written equal the bytes
+          already there (the store dirtied its words without changing
+          content — a flush of only-silent words is wasted). *)
+  | Flush of { off : int; len : int }
+      (** [Region.persist]: every line overlapping the range is flushed
+          (whole lines, as CLFLUSH does), followed by a fence. *)
+  | Fence  (** Standalone [Region.fence]. *)
+  | Publish of { off : int; len : int; what : string }
+      (** A p-atomic commit point made durable: bitmap flip, committed
+          pptr install/retract, micro-log retirement.  Emitted after the
+          committing persist; the analyzer demands that no dirty word of
+          the current scope survives past this event. *)
+  | Link_write of { off : int; len : int }
+      (** Leaf-list next-pointer overwrite.  Must be covered by an armed
+          micro-log entry of the same domain. *)
+  | Log_arm of { log : int }      (** Micro-log fst set: entry armed. *)
+  | Log_reset of { log : int }    (** Micro-log retired (idle again). *)
+  | Lock_acquire of { leaf : int }
+  | Lock_release of { leaf : int }
+  | Leaf_retired of { leaf : int }
+      (** Leaf freed (unlinked + returned to pool/allocator); its extent
+          stops being lock-checked until re-acquired. *)
+  | Leaf_layout of { bytes : int }
+      (** Leaf extent size of the tree living in this region; lets the
+          analyzer map a store offset to its owning leaf. *)
+  | Track_reset
+      (** Tree create/recover: forget all lock/leaf tracking state for
+          this region (recovery legitimately writes without locks). *)
+  | Writer_begin | Writer_end        (** HTM-fallback writer section. *)
+  | Fallback_lock | Fallback_unlock  (** HTM fallback mutex (readers). *)
+  | Scope_begin of { op : string }
+  | Scope_end of { op : string }
+
+type event = {
+  domain : int;   (** numeric id of the recording domain *)
+  region : int;   (** region id; -1 for region-less events *)
+  site : string;  (** innermost scope label of the domain, "" if none *)
+  kind : kind;
+}
+
+let enabled () = Config.current.tracing
+
+(* Hard cap so a forgotten [set_tracing true] cannot OOM a long run;
+   overflow is counted, not silently ignored. *)
+let max_events = 4_000_000
+
+let lock = Mutex.create ()
+let buf : event array ref = ref [||]
+let len = ref 0
+let dropped_count = ref 0
+
+(* domain id -> scope label stack (protected by [lock]) *)
+let scopes : (int, string list) Hashtbl.t = Hashtbl.create 8
+
+let clear () =
+  Mutex.lock lock;
+  buf := [||];
+  len := 0;
+  dropped_count := 0;
+  Hashtbl.reset scopes;
+  Mutex.unlock lock
+
+let size () =
+  Mutex.lock lock;
+  let n = !len in
+  Mutex.unlock lock;
+  n
+
+let dropped () =
+  Mutex.lock lock;
+  let n = !dropped_count in
+  Mutex.unlock lock;
+  n
+
+let events () =
+  Mutex.lock lock;
+  let out = Array.sub !buf 0 !len in
+  Mutex.unlock lock;
+  out
+
+let dummy = { domain = 0; region = -1; site = ""; kind = Fence }
+
+(* caller holds [lock] *)
+let push ev =
+  if !len >= max_events then incr dropped_count
+  else begin
+    let cap = Array.length !buf in
+    if !len >= cap then begin
+      let cap' = if cap = 0 then 1024 else cap * 2 in
+      let b = Array.make (min cap' max_events) dummy in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    !buf.(!len) <- ev;
+    incr len
+  end
+
+let current_site did =
+  match Hashtbl.find_opt scopes did with
+  | Some (s :: _) -> s
+  | _ -> ""
+
+let record ~region kind =
+  if enabled () then begin
+    let did = (Domain.self () :> int) in
+    Mutex.lock lock;
+    push { domain = did; region; site = current_site did; kind };
+    Mutex.unlock lock
+  end
+
+let store ~region ~off ~len ~silent = record ~region (Store { off; len; silent })
+let flush ~region ~off ~len = record ~region (Flush { off; len })
+let fence ~region = record ~region Fence
+let publish ~region ~off ~len what = record ~region (Publish { off; len; what })
+let link_write ~region ~off ~len = record ~region (Link_write { off; len })
+let log_arm ~region ~log = record ~region (Log_arm { log })
+let log_reset ~region ~log = record ~region (Log_reset { log })
+let lock_acquire ~region ~leaf = record ~region (Lock_acquire { leaf })
+let lock_release ~region ~leaf = record ~region (Lock_release { leaf })
+let leaf_retired ~region ~leaf = record ~region (Leaf_retired { leaf })
+let leaf_layout ~region ~bytes = record ~region (Leaf_layout { bytes })
+let track_reset ~region = record ~region Track_reset
+let writer_begin () = record ~region:(-1) Writer_begin
+let writer_end () = record ~region:(-1) Writer_end
+let fallback_lock () = record ~region:(-1) Fallback_lock
+let fallback_unlock () = record ~region:(-1) Fallback_unlock
+
+let scope_begin op =
+  if enabled () then begin
+    let did = (Domain.self () :> int) in
+    Mutex.lock lock;
+    let stack = Option.value ~default:[] (Hashtbl.find_opt scopes did) in
+    Hashtbl.replace scopes did (op :: stack);
+    push { domain = did; region = -1; site = op; kind = Scope_begin { op } };
+    Mutex.unlock lock
+  end
+
+let scope_end op =
+  if enabled () then begin
+    let did = (Domain.self () :> int) in
+    Mutex.lock lock;
+    (match Hashtbl.find_opt scopes did with
+    | Some (_ :: rest) -> Hashtbl.replace scopes did rest
+    | _ -> ());
+    push { domain = did; region = -1; site = current_site did; kind = Scope_end { op } };
+    Mutex.unlock lock
+  end

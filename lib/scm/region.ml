@@ -71,7 +71,8 @@ let refresh_mode t =
   t.fast <-
     (not Config.current.stats)
     && (not Config.current.crash_tracking)
-    && not Config.current.delay_injection
+    && (not Config.current.delay_injection)
+    && not Config.current.tracing
 
 (** [true] when the fast path applies; re-derives the witness only when
     the configuration generation moved. *)
@@ -141,6 +142,15 @@ let mark_dirty t off len =
   end
 
 let dirty_word_count t = Hashtbl.length t.dirty
+
+(* ---- pmcheck trace hooks (slow path only: tracing forces it) ---- *)
+
+let[@inline] tracing () = Config.current.tracing
+
+(* [silent] must be computed against the pre-store bytes; each write
+   path below evaluates it before mutating the buffer. *)
+let trace_store t off len silent =
+  if tracing () then Pmtrace.store ~region:t.id ~off ~len ~silent
 
 (* ---- reads ---- *)
 
@@ -251,7 +261,10 @@ let write_u8 t off v =
     check t off 1;
     touch_lines t off 1;
     mark_dirty t off 1;
-    Bytes.set t.buf off (Char.chr (v land 0xff))
+    let c = Char.chr (v land 0xff) in
+    let silent = tracing () && Bytes.get t.buf off = c in
+    Bytes.set t.buf off c;
+    trace_store t off 1 silent
   end
 
 let write_u16 t off v =
@@ -263,7 +276,9 @@ let write_u16 t off v =
     check t off 2;
     touch_lines t off 2;
     mark_dirty t off 2;
-    Bytes.set_uint16_le t.buf off v
+    let silent = tracing () && Bytes.get_uint16_le t.buf off = v land 0xffff in
+    Bytes.set_uint16_le t.buf off v;
+    trace_store t off 2 silent
   end
 
 let write_int32 t off v =
@@ -275,7 +290,9 @@ let write_int32 t off v =
     check t off 4;
     touch_lines t off 4;
     mark_dirty t off 4;
-    Bytes.set_int32_le t.buf off v
+    let silent = tracing () && Bytes.get_int32_le t.buf off = v in
+    Bytes.set_int32_le t.buf off v;
+    trace_store t off 4 silent
   end
 
 let write_int64 t off v =
@@ -287,7 +304,9 @@ let write_int64 t off v =
     check t off 8;
     touch_lines t off 8;
     mark_dirty t off 8;
-    Bytes.set_int64_le t.buf off v
+    let silent = tracing () && Bytes.get_int64_le t.buf off = v in
+    Bytes.set_int64_le t.buf off v;
+    trace_store t off 8 silent
   end
 
 (** Store a tagged [int] as a 64-bit little-endian word
@@ -301,7 +320,10 @@ let write_word t off v =
     check t off 8;
     touch_lines t off 8;
     mark_dirty t off 8;
-    Bytes.set_int64_le t.buf off (Int64.of_int v)
+    let v64 = Int64.of_int v in
+    let silent = tracing () && Bytes.get_int64_le t.buf off = v64 in
+    Bytes.set_int64_le t.buf off v64;
+    trace_store t off 8 silent
   end
 
 (** A p-atomic 8-byte store: must be word-aligned, so that it can never
@@ -324,7 +346,9 @@ let write_string t off s =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      Bytes.blit_string s 0 t.buf off len
+      let silent = tracing () && Bytes.sub_string t.buf off len = s in
+      Bytes.blit_string s 0 t.buf off len;
+      trace_store t off len silent
     end
 
 let write_bytes t off b =
@@ -335,7 +359,11 @@ let write_bytes t off b =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      Bytes.blit b 0 t.buf off len
+      let silent =
+        tracing () && Bytes.sub_string t.buf off len = Bytes.sub_string b 0 len
+      in
+      Bytes.blit b 0 t.buf off len;
+      trace_store t off len silent
     end
 
 let blit_internal t ~src ~dst ~len =
@@ -347,7 +375,12 @@ let blit_internal t ~src ~dst ~len =
       touch_lines t src len;
       touch_lines t dst len;
       mark_dirty t dst len;
-      Bytes.blit t.buf src t.buf dst len
+      let silent =
+        tracing ()
+        && Bytes.sub_string t.buf dst len = Bytes.sub_string t.buf src len
+      in
+      Bytes.blit t.buf src t.buf dst len;
+      trace_store t dst len silent
     end
 
 let fill t off len c =
@@ -357,19 +390,28 @@ let fill t off len c =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      Bytes.fill t.buf off len c
+      let silent =
+        tracing ()
+        && Bytes.sub_string t.buf off len = String.make len c
+      in
+      Bytes.fill t.buf off len c;
+      trace_store t off len silent
     end
 
 (* ---- persistence primitives ---- *)
 
-let fence _t = if Config.current.stats then Stats.incr_fences ()
+let fence t =
+  if Config.current.stats then Stats.incr_fences ();
+  if tracing () then Pmtrace.fence ~region:t.id
 
 (** Flush the cache lines overlapping [off, off+len) and fence: the
     Persist() primitive of Section 2 (CLFLUSH wrapped in MFENCEs).  If a
     crash is scheduled at this persistence point, {!Config.Crash_injected}
-    is raised and nothing reaches the persistence domain. *)
-let persist t off len =
-  check t off (max len 0);
+    is raised and nothing reaches the persistence domain.  A persist
+    dropped by {!Config.schedule_persist_skip} returns before any effect
+    (including crash-point accounting and trace recording) — the
+    injected "forgotten Persist()" the pmcheck analyzer must catch. *)
+let persist_effective t off len =
   Config.on_persist ();
   if fast_mode t then begin
     (* No stats, no delay injection, no dirty words to retire.  The
@@ -410,8 +452,13 @@ let persist t off len =
             Hashtbl.remove t.dirty w
           done
       done
-    end
+    end;
+    if tracing () && len > 0 then Pmtrace.flush ~region:t.id ~off ~len
   end
+
+let persist t off len =
+  check t off (max len 0);
+  if not (Config.persist_skipped ()) then persist_effective t off len
 
 (** Flush the whole region (used by recovery sanity checks and [save]). *)
 let persist_all t = persist t 0 t.size

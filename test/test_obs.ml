@@ -269,9 +269,80 @@ let test_htm_per_domain_shards () =
   in
   Alcotest.(check bool) "registry htm_aborts_total >= 4" true (total >= 4)
 
+(* ---- hand-written JSON parser edge cases ---- *)
+
+let parses s = match Obs.Json.parse s with _ -> true | exception _ -> false
+
+let rejects s =
+  match Obs.Json.parse s with
+  | _ -> false
+  | exception Obs.Json.Parse_error _ -> true
+
+let test_json_escapes () =
+  let open Obs.Json in
+  Alcotest.(check string) "standard escapes" "a\"b\\c\nd\te\rf\bg"
+    (to_string_val (parse {|"a\"b\\c\nd\te\rf\bg"|}));
+  Alcotest.(check string) "solidus" "a/b" (to_string_val (parse {|"a\/b"|}));
+  Alcotest.(check string) "unicode ascii" "A!"
+    (to_string_val (parse "\"\\u0041\\u0021\""));
+  Alcotest.(check string) "unicode non-ascii placeholder" "?"
+    (to_string_val (parse "\"\\u00e9\""));
+  Alcotest.(check string) "uppercase hex" "J" (to_string_val (parse "\"\\u004A\""));
+  Alcotest.(check bool) "underscore in \\u rejected" true (rejects "\"\\u00_1\"");
+  Alcotest.(check bool) "sign in \\u rejected" true (rejects "\"\\u+041\"");
+  Alcotest.(check bool) "non-hex \\u rejected" true (rejects "\"\\u00zz\"");
+  Alcotest.(check bool) "truncated \\u rejected" true (rejects "\"\\u00");
+  Alcotest.(check bool) "unknown escape rejected" true (rejects {|"\q"|});
+  (* control characters round-trip through our own escaper *)
+  let s = "\001\031 ok" in
+  Alcotest.(check string) "control chars round-trip" s
+    (to_string_val (parse (to_string (Str s))))
+
+let test_json_nesting () =
+  let depth = 1000 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "1"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  Alcotest.(check bool) "1000-deep array parses" true (parses deep);
+  let rec unwrap j n =
+    match j with Obs.Json.Arr [ x ] -> unwrap x (n + 1) | other -> (other, n)
+  in
+  let inner, n = unwrap (Obs.Json.parse deep) 0 in
+  Alcotest.(check int) "all layers seen" depth n;
+  Alcotest.(check bool) "innermost is 1" true (inner = Obs.Json.Int 1);
+  let deep_obj =
+    String.concat "" (List.init 200 (fun _ -> {|{"k":|}))
+    ^ "null"
+    ^ String.make 200 '}'
+  in
+  Alcotest.(check bool) "200-deep object parses" true (parses deep_obj)
+
+let test_json_truncated_and_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" s) true (rejects s))
+    [
+      ""; "{"; "["; {|{"a"|}; {|{"a":|}; {|{"a":1|}; {|{"a":1,|}; "[1,";
+      "[1, 2"; {|"unterminated|}; {|"esc\|}; "tru"; "falsy"; "nul";
+      "1 2" (* trailing garbage *); "[] []"; "{} x"; "1.2.3"; "--1"; "+";
+      {|{"a":1}}|}; "[1]]";
+    ];
+  (* whitespace around a valid document is fine *)
+  Alcotest.(check bool) "surrounding whitespace ok" true
+    (parses " \t\r\n {\"a\": [1, 2.5, true, null]} \n ")
+
 let () =
   Alcotest.run "obs"
     [
+      ( "json",
+        [
+          Alcotest.test_case "escape sequences" `Quick test_json_escapes;
+          Alcotest.test_case "deep nesting" `Quick test_json_nesting;
+          Alcotest.test_case "truncated input / garbage" `Quick
+            test_json_truncated_and_garbage;
+        ] );
       ( "histogram",
         [
           Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;

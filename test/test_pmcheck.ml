@@ -1,0 +1,300 @@
+(* Pmcheck sanitizer tests.
+
+   Dynamic side: exhaustive crash-state enumeration (every persist
+   boundary) for the five structural operations at m = 8, plus a
+   missing-persist fault-injection sweep proving the offline analyzer
+   flags a suppressed Persist() in each of them.
+
+   Static side: the analyzer's finding classes on hand-built traces
+   (race, unlogged link write, redundant flush, missing persist), the
+   JSON trace round-trip, and the persistent-layer race detector over a
+   contended multi-domain workload. *)
+
+module F = Fptree.Fixed
+module Tree = Fptree.Tree
+module E = Pmcheck.Enumerate
+module A = Pmcheck.Analyzer
+module T = Scm.Pmtrace
+
+let cfg =
+  { Tree.fptree_config with Tree.m = 8; Tree.inner_keys = 8; Tree.use_groups = false }
+
+let cfg_groups =
+  { Tree.fptree_config with
+    Tree.m = 8; Tree.inner_keys = 8; Tree.use_groups = true; Tree.group_size = 2 }
+
+(* ---- the five operation scripts (m = 8) ---- *)
+
+let base_setup = [ E.Ins (10, 1); E.Ins (20, 2); E.Ins (30, 3) ]
+
+let scripts =
+  [
+    ("insert", base_setup, [ E.Ins (40, 4) ]);
+    ("update", base_setup, [ E.Upd (20, 99) ]);
+    ("delete", base_setup @ [ E.Ins (40, 4) ], [ E.Del 20 ]);
+    (* 8 keys fill one leaf; the 9th insert splits it *)
+    ( "split",
+      List.init 8 (fun i -> E.Ins ((i + 1) * 10, i)),
+      [ E.Ins (90, 9) ] );
+    (* drain the upper leaf: one of these deletes empties it and takes
+       the whole-leaf-delete (merge) path through the delete micro-log *)
+    ( "merge",
+      List.init 9 (fun i -> E.Ins ((i + 1) * 10, i)),
+      [ E.Del 90; E.Del 80; E.Del 70; E.Del 60; E.Del 50 ] );
+  ]
+
+let sweep_one ~config name setup ops =
+  let r = E.sweep_crash_states ~config ~setup ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: swept %d crash points" name r.E.crash_points)
+    true
+    (r.E.crash_points >= 1)
+
+let test_crash_sweep_all_ops () =
+  List.iter (fun (name, setup, ops) -> sweep_one ~config:cfg name setup ops) scripts
+
+let test_crash_sweep_groups () =
+  List.iter
+    (fun (name, setup, ops) -> sweep_one ~config:cfg_groups name setup ops)
+    [ List.nth scripts 3; List.nth scripts 4 ]
+
+let test_crash_sweep_random_eviction () =
+  let name, setup, ops = List.nth scripts 3 in
+  let r =
+    E.sweep_crash_states ~mode:(Scm.Config.Keep_random_subset 0xC0FFEE) ~config:cfg
+      ~setup ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (random eviction): %d crash points" name r.E.crash_points)
+    true
+    (r.E.crash_points >= 1)
+
+let test_injection_sweep_all_ops () =
+  List.iter
+    (fun (name, setup, ops) ->
+      let r = E.sweep_missing_persist ~config:cfg ~setup ops in
+      Printf.printf "pmcheck %-6s: %d/%d injected missing persists detected\n%!"
+        name r.E.detected r.E.injected;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: at least one persist site" name)
+        true (r.E.injected >= 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: injected missing persist detected (%d/%d)" name
+           r.E.detected r.E.injected)
+        true (r.E.detected >= 1);
+      match A.errors r.E.clean_findings with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "%s: clean trace has errors, e.g. %s" name
+          (Format.asprintf "%a" A.pp_finding f))
+    scripts
+
+(* ---- analyzer unit tests on synthetic traces ---- *)
+
+let ev ?(domain = 1) ?(region = 0) ?(site = "") kind =
+  { T.domain; region; site; kind }
+
+let classes findings = List.map (fun f -> f.A.cls) findings
+
+let test_analyzer_race () =
+  let trace =
+    [|
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      (* domain 2 stores into domain 1's locked leaf *)
+      ev ~domain:2 ~site:"insert" (T.Store { off = 300; len = 8; silent = false });
+      ev (T.Lock_release { leaf = 256 });
+      (* unlocked but still tracked: unlocked store is also a race *)
+      ev ~domain:2 ~site:"insert" (T.Store { off = 260; len = 8; silent = false });
+      ev (T.Leaf_retired { leaf = 256 });
+      (* retired: stores are free again *)
+      ev ~domain:2 ~site:"insert" (T.Store { off = 260; len = 8; silent = false });
+    |]
+  in
+  let races = List.filter (fun f -> f.A.cls = "leaf-lock-race") (A.analyze trace) in
+  Alcotest.(check int) "two races" 2 (List.length races);
+  (* the holder itself is never flagged *)
+  let trace_ok =
+    [|
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      ev ~site:"insert" (T.Store { off = 300; len = 8; silent = false });
+    |]
+  in
+  Alcotest.(check bool) "holder ok" true
+    (not (List.mem "leaf-lock-race" (classes (A.analyze trace_ok))))
+
+let test_analyzer_unlogged_link () =
+  let link = T.Link_write { off = 512; len = 16 } in
+  let bad = [| ev ~site:"split" link |] in
+  Alcotest.(check bool) "unlogged flagged" true
+    (List.mem "unlogged-link-write" (classes (A.analyze bad)));
+  let good = [| ev (T.Log_arm { log = 128 }); ev ~site:"split" link |] in
+  Alcotest.(check bool) "logged ok" true
+    (not (List.mem "unlogged-link-write" (classes (A.analyze good))));
+  let reset =
+    [| ev (T.Log_arm { log = 128 }); ev (T.Log_reset { log = 128 });
+       ev ~site:"split" link |]
+  in
+  Alcotest.(check bool) "after reset flagged" true
+    (List.mem "unlogged-link-write" (classes (A.analyze reset)));
+  (* recovery replay (no scope label) is exempt *)
+  let recovery = [| ev link |] in
+  Alcotest.(check bool) "recovery exempt" true
+    (not (List.mem "unlogged-link-write" (classes (A.analyze recovery))))
+
+let test_analyzer_missing_persist () =
+  let bad =
+    [|
+      ev ~site:"insert" (T.Scope_begin { op = "insert" });
+      ev ~site:"insert" (T.Store { off = 96; len = 8; silent = false });
+      ev ~site:"insert" (T.Publish { off = 8; len = 8; what = "bitmap" });
+    |]
+  in
+  Alcotest.(check bool) "dirty at publish flagged" true
+    (List.mem "missing-persist" (classes (A.analyze bad)));
+  let good =
+    [|
+      ev ~site:"insert" (T.Scope_begin { op = "insert" });
+      ev ~site:"insert" (T.Store { off = 96; len = 8; silent = false });
+      ev ~site:"insert" (T.Flush { off = 96; len = 8 });
+      ev ~site:"insert" (T.Publish { off = 8; len = 8; what = "bitmap" });
+      ev ~site:"insert" (T.Scope_end { op = "insert" });
+    |]
+  in
+  Alcotest.(check (list string)) "flushed trace clean" []
+    (classes (A.errors (A.analyze good)));
+  let at_end =
+    [|
+      ev ~site:"insert" (T.Scope_begin { op = "insert" });
+      ev ~site:"insert" (T.Store { off = 96; len = 8; silent = false });
+      ev ~site:"insert" (T.Scope_end { op = "insert" });
+    |]
+  in
+  Alcotest.(check bool) "dirty at scope end flagged" true
+    (List.mem "missing-persist-at-end" (classes (A.analyze at_end)))
+
+let test_analyzer_flush_classes () =
+  let redundant = [| ev (T.Flush { off = 0; len = 64 }) |] in
+  Alcotest.(check bool) "redundant flagged" true
+    (List.mem "redundant-flush" (classes (A.analyze redundant)));
+  let silent =
+    [|
+      ev (T.Store { off = 0; len = 8; silent = true });
+      ev (T.Flush { off = 0; len = 8 });
+    |]
+  in
+  Alcotest.(check bool) "silent flagged" true
+    (List.mem "silent-flush" (classes (A.analyze silent)));
+  let batchable =
+    [|
+      ev ~site:"insert" (T.Scope_begin { op = "insert" });
+      ev ~site:"insert" (T.Store { off = 0; len = 8; silent = false });
+      ev ~site:"insert" (T.Flush { off = 0; len = 8 });
+      ev ~site:"insert" (T.Store { off = 8; len = 8; silent = false });
+      ev ~site:"insert" (T.Flush { off = 8; len = 8 });
+      ev ~site:"insert" (T.Store { off = 16; len = 8; silent = false });
+      ev ~site:"insert" (T.Flush { off = 16; len = 8 });
+      ev ~site:"insert" (T.Scope_end { op = "insert" });
+    |]
+  in
+  Alcotest.(check bool) "batchable flagged" true
+    (List.mem "batchable-flush" (classes (A.analyze batchable)))
+
+let test_trace_roundtrip () =
+  let trace =
+    [|
+      ev ~site:"insert" (T.Scope_begin { op = "insert" });
+      ev ~site:"insert" (T.Store { off = 96; len = 16; silent = false });
+      ev ~site:"insert" (T.Flush { off = 96; len = 16 });
+      ev (T.Fence);
+      ev ~site:"insert" (T.Publish { off = 8; len = 8; what = "bitmap" });
+      ev (T.Link_write { off = 24; len = 16 });
+      ev (T.Log_arm { log = 128 });
+      ev (T.Log_reset { log = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      ev (T.Lock_release { leaf = 256 });
+      ev (T.Leaf_retired { leaf = 256 });
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Track_reset);
+      ev ~region:(-1) T.Writer_begin;
+      ev ~region:(-1) T.Writer_end;
+      ev ~region:(-1) T.Fallback_lock;
+      ev ~region:(-1) T.Fallback_unlock;
+      ev ~site:"insert" (T.Scope_end { op = "insert" });
+    |]
+  in
+  let j = Pmcheck.Trace_io.to_json ~dropped:3 trace in
+  let s = Obs.Json.to_string j in
+  let j' = Obs.Json.parse s in
+  let trace' = Pmcheck.Trace_io.of_json j' in
+  Alcotest.(check int) "dropped" 3 (Pmcheck.Trace_io.dropped_of_json j');
+  Alcotest.(check bool) "events round-trip" true (trace = trace')
+
+(* ---- race detector over a contended multi-domain workload ---- *)
+
+let test_race_detector_concurrent () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Config.set_crash_tracking false;
+  Scm.Config.set_tracing true;
+  Scm.Pmtrace.clear ();
+  let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+  let t = F.create_concurrent ~m:8 a in
+  let n_domains = 4 and per = 400 in
+  let ds =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            (* interleaved ownership: adjacent keys on the same leaves *)
+            for i = 0 to per - 1 do
+              let k = (i * n_domains) + d in
+              ignore (F.insert t k i);
+              if i mod 3 = 0 then ignore (F.update t k (i + 1));
+              if i mod 5 = 0 then ignore (F.delete t k)
+            done))
+  in
+  List.iter Domain.join ds;
+  Scm.Config.set_tracing false;
+  let events = T.events () in
+  let dropped = T.dropped () in
+  Scm.Pmtrace.clear ();
+  Alcotest.(check int) "no dropped events" 0 dropped;
+  F.check_invariants t;
+  let findings = A.analyze events in
+  (match List.filter (fun f -> f.A.cls = "leaf-lock-race") findings with
+  | [] -> ()
+  | f :: _ as l ->
+    Alcotest.failf "%d persistent-layer races, e.g. %s" (List.length l)
+      (Format.asprintf "%a" A.pp_finding f));
+  match A.errors findings with
+  | [] -> ()
+  | f :: _ as l ->
+    Alcotest.failf "%d errors in clean concurrent trace, e.g. %s" (List.length l)
+      (Format.asprintf "%a" A.pp_finding f)
+
+let () =
+  Alcotest.run "pmcheck"
+    [
+      ( "enumerate",
+        [
+          Alcotest.test_case "crash sweep: 5 ops at m=8" `Slow test_crash_sweep_all_ops;
+          Alcotest.test_case "crash sweep: groups" `Slow test_crash_sweep_groups;
+          Alcotest.test_case "crash sweep: random eviction" `Slow
+            test_crash_sweep_random_eviction;
+          Alcotest.test_case "missing-persist injection: 5 ops" `Slow
+            test_injection_sweep_all_ops;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "leaf-lock race" `Quick test_analyzer_race;
+          Alcotest.test_case "unlogged link write" `Quick test_analyzer_unlogged_link;
+          Alcotest.test_case "missing persist" `Quick test_analyzer_missing_persist;
+          Alcotest.test_case "flush classes" `Quick test_analyzer_flush_classes;
+          Alcotest.test_case "trace JSON round-trip" `Quick test_trace_roundtrip;
+        ] );
+      ( "race-detector",
+        [
+          Alcotest.test_case "contended multi-domain workload" `Slow
+            test_race_detector_concurrent;
+        ] );
+    ]

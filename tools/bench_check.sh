@@ -18,6 +18,9 @@ dune build
 echo "== tier-1 tests =="
 dune runtest
 
+echo "== lint (SCM-access discipline) =="
+dune build @lint
+
 echo "== hotpath microbench (scale $SCALE) =="
 HOTPATH_LABEL="bench_check" HOTPATH_OUT="/tmp/bench_check_hotpath.json" \
   dune exec bench/main.exe -- --scale "$SCALE" hotpath
@@ -66,4 +69,21 @@ grep -q 'fptree.recovery.rebuild' "$GDUMP" || {
   | grep -q '# TYPE scm_persists_total counter' || {
   echo "FAIL: text exposition missing scm_persists_total"; exit 1; }
 
-echo "== done: /tmp/bench_check_hotpath.json, $DUMP =="
+echo "== pmcheck smoke (traced run + analyzer) =="
+TRACE=/tmp/bench_check_trace.json
+rm -f "$TRACE"
+"$CLI" fill "$IMG" 500 --trace "$TRACE" > /dev/null 2>&1
+# the analyzer must parse the trace, see a non-trivial event count, and
+# report no error-severity findings on a clean run (exit 2 = errors)
+pmout=$("$CLI" pmcheck "$TRACE" --summary) || {
+  echo "FAIL: pmcheck found errors in a clean trace:"; echo "$pmout"; exit 1; }
+echo "$pmout" | head -1
+events=$(echo "$pmout" | sed -n 's/^\([0-9]*\) events.*/\1/p')
+if [ -z "$events" ] || [ "$events" -le 1000 ]; then
+  echo "FAIL: implausibly small trace ($events events)"; exit 1
+fi
+if echo "$pmout" | grep -q 'missing-persist'; then
+  echo "FAIL: missing-persist findings on a clean run"; exit 1
+fi
+
+echo "== done: /tmp/bench_check_hotpath.json, $DUMP, $TRACE =="

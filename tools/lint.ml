@@ -1,0 +1,212 @@
+(* Source lint for the SCM-access discipline (pmcheck's static rules).
+
+   The simulator's whole value rests on every persistent byte moving
+   through [Scm.Region] accessors — that is where dirty-word tracking,
+   crash injection, latency accounting and the pmtrace recorder live.
+   A single raw [Bytes] poke (or an [Obj.magic] around the API) makes
+   every crash-consistency result unsound, so this tool rejects:
+
+   - [Obj.] anywhere in the scanned trees (no unsafe casts);
+   - [Bytes.] outside lib/scm: region memory is a [Bytes.t] owned by
+     the simulator, all other code must use [Region] accessors
+     (volatile scratch buffers in lib code use strings/arrays);
+   - [Bytes.unsafe_] / [String.unsafe_] outside lib/scm;
+   - [external] declarations outside lib/scm (no FFI backdoors).
+
+   Comments and string/char literals are stripped first, so prose
+   mentioning these identifiers is fine.  Usage:
+
+     lint.exe DIR...     # scans *.ml / *.mli recursively, exits 1 on
+                         # any violation                                *)
+
+let violations = ref 0
+
+let report path line msg =
+  incr violations;
+  Printf.printf "%s:%d: %s\n" path line msg
+
+(* Replace comments and string/char literals with spaces (preserving
+   newlines so line numbers survive).  Handles nested (* *) comments,
+   backslash escapes in strings, {id|...|id} quoted strings, and char
+   literals — including '"' and '\'' — without misreading type
+   variables like 'a. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let in_bounds k = k < n in
+  let rec skip_comment depth j =
+    if not (in_bounds j) then n
+    else if in_bounds (j + 1) && src.[j] = '(' && src.[j + 1] = '*' then begin
+      blank j;
+      blank (j + 1);
+      skip_comment (depth + 1) (j + 2)
+    end
+    else if in_bounds (j + 1) && src.[j] = '*' && src.[j + 1] = ')' then begin
+      blank j;
+      blank (j + 1);
+      if depth = 1 then j + 2 else skip_comment (depth - 1) (j + 2)
+    end
+    else begin
+      blank j;
+      skip_comment depth (j + 1)
+    end
+  in
+  let skip_string j =
+    (* j points after the opening quote *)
+    let j = ref j in
+    let stop = ref false in
+    while not !stop && in_bounds !j do
+      (match src.[!j] with
+      | '\\' when in_bounds (!j + 1) ->
+        blank !j;
+        blank (!j + 1);
+        incr j
+      | '"' -> stop := true
+      | _ -> blank !j);
+      incr j
+    done;
+    !j
+  in
+  let is_delim_char c = (c >= 'a' && c <= 'z') || c = '_' in
+  let skip_quoted j =
+    (* {id| ... |id} *)
+    let d0 = ref j in
+    while in_bounds !d0 && is_delim_char src.[!d0] do
+      incr d0
+    done;
+    if in_bounds !d0 && src.[!d0] = '|' then begin
+      let delim = String.sub src j (!d0 - j) in
+      let close = Printf.sprintf "|%s}" delim in
+      let cl = String.length close in
+      let k = ref (!d0 + 1) in
+      let fin = ref n in
+      while !fin = n && !k + cl <= n do
+        if String.sub src !k cl = close then fin := !k + cl else incr k
+      done;
+      let fin = !fin in
+      for p = j - 1 to min (fin - 1) (n - 1) do
+        blank p
+      done;
+      Some fin
+    end
+    else None
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && in_bounds (!i + 1) && src.[!i + 1] = '*' then
+      i := skip_comment 0 !i
+    else if c = '"' then begin
+      blank !i;
+      i := skip_string (!i + 1)
+    end
+    else if c = '{' && in_bounds (!i + 1)
+            && (src.[!i + 1] = '|' || is_delim_char src.[!i + 1]) then begin
+      match skip_quoted (!i + 1) with
+      | Some fin -> i := fin
+      | None -> incr i
+    end
+    else if c = '\'' then begin
+      (* char literal iff it closes within a few chars; else a type
+         variable / polymorphic variant tick *)
+      if in_bounds (!i + 1) && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while in_bounds !j && src.[!j] <> '\'' do
+          incr j
+        done;
+        for p = !i to min !j (n - 1) do
+          blank p
+        done;
+        i := !j + 1
+      end
+      else if in_bounds (!i + 2) && src.[!i + 2] = '\'' then begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Occurrences of [needle] in [hay] at a token boundary (the preceding
+   char is not part of an identifier or a module path). *)
+let find_tokens hay needle f =
+  let nl = String.length needle in
+  let n = String.length hay in
+  for i = 0 to n - nl do
+    if String.sub hay i nl = needle then begin
+      let before = i = 0 || (not (is_ident_char hay.[i - 1]) && hay.[i - 1] <> '.') in
+      let after =
+        (not (is_ident_char needle.[nl - 1]))
+        || i + nl >= n
+        || not (is_ident_char hay.[i + nl])
+      in
+      if before && after then f i
+    end
+  done
+
+let line_of hay i =
+  let l = ref 1 in
+  for k = 0 to i - 1 do
+    if hay.[k] = '\n' then incr l
+  done;
+  !l
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let in_scm path =
+  (* normalized check: is this file part of the simulator itself? *)
+  let parts = String.split_on_char '/' path in
+  let rec has = function
+    | "lib" :: "scm" :: _ -> true
+    | _ :: tl -> has tl
+    | [] -> false
+  in
+  has parts
+
+let check_file path =
+  let stripped = strip (read_file path) in
+  let bad needle msg =
+    find_tokens stripped needle (fun i -> report path (line_of stripped i) msg)
+  in
+  bad "Obj." "Obj is forbidden: no unsafe casts around the SCM API";
+  if not (in_scm path) then begin
+    bad "Bytes."
+      "direct Bytes access outside lib/scm: persistent memory must go \
+       through Scm.Region accessors";
+    bad "String.unsafe_" "unsafe string access outside lib/scm";
+    bad "external" "external (FFI) declarations are confined to lib/scm"
+  end
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        if entry <> "_build" && not (String.length entry > 0 && entry.[0] = '.')
+        then walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then check_file path
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: r -> r
+  in
+  List.iter walk roots;
+  if !violations > 0 then begin
+    Printf.printf "lint: %d violation(s)\n" !violations;
+    exit 1
+  end
+  else print_endline "lint: ok"

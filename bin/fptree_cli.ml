@@ -21,10 +21,27 @@
 
 open Cmdliner
 
-let load_tree path =
+(* A bad image is a user error, not a crash: one line, exit 1 (exit 2
+   is reserved for checker findings, matching pmcheck/fsck). *)
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("fptree_cli: " ^ s); exit 1) fmt
+
+let or_die f =
+  try f () with
+  | Failure msg -> die "%s" msg
+  | Sys_error msg -> die "%s" msg
+  | Invalid_argument msg -> die "%s" msg
+
+let load_region path =
+  or_die @@ fun () ->
   Scm.Registry.clear ();
   let region = Scm.Region.load path in
   Scm.Registry.register region;
+  region
+
+let load_tree path =
+  let region = load_region path in
+  or_die @@ fun () ->
   let alloc = Pmem.Palloc.of_region region in
   (region, Fptree.Fixed.recover alloc)
 
@@ -87,19 +104,32 @@ let with_metrics metrics format trace f =
 (* ---- commands ---- *)
 
 let create_cmd =
-  let run metrics format trace path size_mb =
+  let run metrics format trace path size_mb checksums =
     with_metrics metrics format trace @@ fun () ->
     Scm.Registry.clear ();
     let alloc = Pmem.Palloc.create ~size:(size_mb * 1024 * 1024) () in
-    ignore (Fptree.Fixed.create_single alloc);
+    ignore
+      (Fptree.Fixed.create
+         ~config:{ Fptree.Tree.fptree_config with Fptree.Tree.checksums }
+         alloc);
     save (Pmem.Palloc.region alloc) path;
-    Printf.printf "created %s (%d MiB arena)\n" path size_mb
+    Printf.printf "created %s (%d MiB arena%s)\n" path size_mb
+      (if checksums then ", per-leaf checksums" else "")
   in
   let size =
     Arg.(value & opt int 16 & info [ "size-mb" ] ~doc:"arena size in MiB")
   in
+  let checksums =
+    Arg.(
+      value & flag
+      & info [ "checksums" ]
+          ~doc:
+            "create the tree with per-leaf integrity checksums (recovery \
+             quarantines unreadable leaves; a few extra persists per \
+             operation)")
+  in
   Cmd.v (Cmd.info "create" ~doc:"create an empty persistent tree image")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ size)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ size $ checksums)
 
 let put_cmd =
   let run metrics format trace path k v =
@@ -280,10 +310,149 @@ let pmcheck_cmd =
           flushes); exits 2 if any error-severity finding is present")
     Term.(const run $ trace_pos $ quiet)
 
+(* ---- fsck: offline structural audit / salvage ---- *)
+
+let fsck_cmd =
+  let run path repair quiet =
+    let region = load_region path in
+    let report = or_die (fun () -> Fsck.check ~repair region) in
+    (* of_region log replay and repair actions both mutate the image *)
+    if repair then save region path;
+    if not quiet then
+      List.iter
+        (fun f -> Format.printf "%a@." Fsck.pp_finding f)
+        report.Fsck.findings;
+    Printf.printf "blocks=%d chain_leaves=%d keys=%d findings=%d repairs=%d\n"
+      report.Fsck.blocks report.Fsck.chain_leaves report.Fsck.keys
+      (List.length report.Fsck.findings) report.Fsck.repairs;
+    if Fsck.errors report <> [] then exit 2
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "splice bad links, refresh stale integrity cells and reclaim \
+             unowned blocks (crash-safe; keys behind a truncated link are \
+             lost either way)")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "summary" ] ~doc:"print only the summary line")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "audit a tree image: cross-check the linked leaf list against the \
+          allocator (orphans, leaks, dangling and double links, corrupt \
+          leaves); exits 2 if unrepaired errors remain")
+    Term.(const run $ path_arg $ repair $ quiet)
+
+(* ---- chaos: randomized crash-recover-verify loops ---- *)
+
+let chaos_cmd =
+  let run seed iterations ops checksums concurrent =
+    let base =
+      if concurrent then Fptree.Tree.fptree_concurrent_config
+      else Fptree.Tree.fptree_config
+    in
+    let config = { base with Fptree.Tree.checksums } in
+    match
+      Pmcheck.Chaos.run ~config ~seed ~iterations ~ops_per_iter:ops ()
+    with
+    | r ->
+      Printf.printf
+        "chaos: %d iterations ok (ops=%d clean=%d crashes=%d torn=%d \
+         alloc_failures=%d keys=%d)\n"
+        r.Pmcheck.Chaos.iterations r.Pmcheck.Chaos.ops r.Pmcheck.Chaos.clean
+        r.Pmcheck.Chaos.crashes r.Pmcheck.Chaos.torn
+        r.Pmcheck.Chaos.alloc_failures r.Pmcheck.Chaos.final_keys
+    | exception Pmcheck.Chaos.Divergence msg ->
+      prerr_endline ("fptree_cli: " ^ msg);
+      exit 2
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed") in
+  let iterations =
+    Arg.(value & opt int 500
+         & info [ "iterations" ] ~docv:"N"
+             ~doc:"crash-recover-verify iterations")
+  in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~docv:"N"
+         ~doc:"operations per iteration")
+  in
+  let checksums =
+    Arg.(value & flag & info [ "checksums" ] ~doc:"per-leaf integrity checksums")
+  in
+  let concurrent =
+    Arg.(value & flag
+         & info [ "concurrent" ] ~doc:"concurrent-FPTree configuration (m=64)")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "seeded randomized crash-recover-verify loop against an in-DRAM \
+          oracle (mixed clean restarts, crashes, torn stores, allocation \
+          failures); exits 2 on any divergence")
+    Term.(const run $ seed $ iterations $ ops $ checksums $ concurrent)
+
+(* ---- corrupt: deterministic damage injection (fsck's test subject) ---- *)
+
+let corrupt_cmd =
+  let run path kind seed bits =
+    let region, t = load_tree path in
+    let leaves = ref [] in
+    Fptree.Fixed.iter_leaves t (fun l -> leaves := l :: !leaves);
+    let leaves = Array.of_list (List.rev !leaves) in
+    let layout = t.Fptree.Fixed.layout in
+    let mid = leaves.(Array.length leaves / 2) in
+    (match kind with
+    | `Link ->
+      (* An in-region but implausible target: fsck classifies it as a
+         dangling link and repair truncates there. *)
+      Pmem.Pptr.write_committed region
+        (mid + layout.Fptree.Layout.next_off)
+        { Pmem.Pptr.region_id = Scm.Region.id region;
+          off = Scm.Region.size region - 8 };
+      Printf.printf "corrupt: dangling next pointer at leaf %d\n" mid
+    | `Orphan ->
+      (* Allocate through the allocator's scratch cell, then retract the
+         reference: an allocated block no structure owns. *)
+      let a = Fptree.Fixed.alloc t in
+      Pmem.Palloc.alloc a ~into:(Pmem.Pptr.Loc.make region 32) 256;
+      let off = (Pmem.Pptr.read region 32).Pmem.Pptr.off in
+      Pmem.Pptr.write region 32 Pmem.Pptr.null;
+      Scm.Region.persist region 32 Pmem.Pptr.size_bytes;
+      Printf.printf "corrupt: unreferenced allocated block at %d\n" off
+    | `Media ->
+      let off = mid + layout.Fptree.Layout.data_off in
+      let len = layout.Fptree.Layout.bytes - layout.Fptree.Layout.data_off in
+      Scm.Region.corrupt region ~off ~len ~bits ~seed;
+      Printf.printf "corrupt: flipped %d bits in leaf %d data\n" bits mid);
+    save region path
+  in
+  let kind =
+    Arg.(
+      required
+      & pos 1 (some (enum [ ("link", `Link); ("orphan", `Orphan);
+                            ("media", `Media) ])) None
+      & info [] ~docv:"KIND"
+          ~doc:"damage class: $(b,link) (dangling next pointer), \
+                $(b,orphan) (allocated unreferenced block), $(b,media) \
+                (flip bits in a leaf's data)")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"bit-flip seed") in
+  let bits = Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc:"bits to flip (media)") in
+  Cmd.v
+    (Cmd.info "corrupt"
+       ~doc:
+         "inject deterministic damage into a tree image (fault-injection \
+          subject for $(b,fsck) and recovery testing)")
+    Term.(const run $ path_arg $ kind $ seed $ bits)
+
 let () =
   let info = Cmd.info "fptree_cli" ~doc:"persistent FPTree image tool" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd;
-            metrics_cmd; pmcheck_cmd ]))
+            metrics_cmd; pmcheck_cmd; fsck_cmd; chaos_cmd; corrupt_cmd ]))

@@ -24,10 +24,15 @@ type t = {
   value_bytes : int;  (** >= 8, multiple of 8; first 8 bytes = value word, rest payload *)
   fingerprints : bool;
   split_arrays : bool; (** PTree keeps keys and values in separate arrays *)
+  checksums : bool;
+      (** Optional 16-byte integrity cell (checksum word + bitmap
+          snapshot) between pNext and the data cells; off by default so
+          persist counts match the paper. *)
   fp_off : int;
   bitmap_off : int;
   lock_off : int;
   next_off : int;
+  csum_off : int;     (** -1 when [checksums] is off *)
   data_off : int;
   bytes : int;
 }
@@ -46,8 +51,24 @@ let make ~m ~key_bytes ~value_bytes ~fingerprints ~split_arrays =
   let next_off = align8 (lock_off + 1) in
   let data_off = next_off + Pmem.Pptr.size_bytes in
   let bytes = data_off + (m * (key_bytes + value_bytes)) in
-  { m; key_bytes; value_bytes; fingerprints; split_arrays;
-    fp_off; bitmap_off; lock_off; next_off; data_off; bytes }
+  { m; key_bytes; value_bytes; fingerprints; split_arrays; checksums = false;
+    fp_off; bitmap_off; lock_off; next_off; csum_off = -1; data_off; bytes }
+
+(** Derive the same layout with the 16-byte integrity cell (checksum
+    word + bitmap snapshot) inserted between pNext and the data cells. *)
+let with_checksums t =
+  if t.checksums then t
+  else begin
+    let csum_off = t.next_off + Pmem.Pptr.size_bytes in
+    let data_off = csum_off + 16 in
+    {
+      t with
+      checksums = true;
+      csum_off;
+      data_off;
+      bytes = data_off + (t.m * (t.key_bytes + t.value_bytes));
+    }
+  end
 
 (* ---- cell addressing (absolute offsets, given the leaf base) ---- *)
 
@@ -141,3 +162,75 @@ let zero_leaf r ~leaf t =
 let copy_leaf r t ~src ~dst =
   Scm.Region.blit_internal r ~src ~dst ~len:t.bytes;
   Scm.Region.persist r dst t.bytes
+
+(* ---- optional per-leaf integrity checksum ---- *)
+
+type csum_status = Csum_ok | Csum_stale | Csum_corrupt
+
+(* FNV-1a-style word mix (64-bit prime, wrapping 63-bit native ints):
+   deterministic, allocation-free, good enough to catch torn cells and
+   flipped bits — this is an integrity check, not a cryptographic one. *)
+let[@inline] mix h w = (h lxor w) * 0x100000001B3
+
+(** Checksum of the committed content of a leaf under bitmap [bm]: the
+    bitmap word plus, for every {e occupied} slot, its fingerprint byte
+    and key/value cells.  Free slots are excluded — pre-publish writes
+    into them must not invalidate the cell — and so is the next
+    pointer: it is rewritten by micro-logged link updates (DeleteLeaf
+    step 4) that do not touch the bitmap, so covering it would make
+    every such update a false corruption. *)
+let compute_checksum r ~leaf t bm =
+  let bm = bm land full_mask t in
+  let h = ref (mix 0x5DEECE66D bm) in
+  for slot = 0 to t.m - 1 do
+    if bm land (1 lsl slot) <> 0 then begin
+      if t.fingerprints then h := mix !h (read_fp r ~leaf t slot);
+      let k = key_off t ~leaf ~slot in
+      for i = 0 to (t.key_bytes / 8) - 1 do
+        h := mix !h (Scm.Region.read_word r (k + (i * 8)))
+      done;
+      let v = value_off t ~leaf ~slot in
+      for i = 0 to (t.value_bytes / 8) - 1 do
+        h := mix !h (Scm.Region.read_word r (v + (i * 8)))
+      done
+    end
+  done;
+  !h
+
+(** Recompute and persist the integrity cell against the current
+    committed bitmap; no-op when the layout has no checksum cell.  Two
+    ordered p-atomic persists — checksum word first, then the bitmap
+    snapshot — so a crash at any point leaves either an old snapshot
+    (≠ bitmap ⇒ {!Csum_stale}, refreshed on recovery) or a fully
+    durable cell, never a current snapshot guarding a torn checksum. *)
+let write_checksum r ~leaf t =
+  if t.checksums then begin
+    let bm = read_bitmap r ~leaf t in
+    let c = compute_checksum r ~leaf t bm in
+    Scm.Region.write_word_atomic r (leaf + t.csum_off) c;
+    Scm.Region.persist r (leaf + t.csum_off) 8;
+    Scm.Region.write_word_atomic r (leaf + t.csum_off + 8) bm;
+    Scm.Region.persist r (leaf + t.csum_off + 8) 8
+  end
+
+(** Validate a leaf against its integrity cell.  {!Csum_stale} means
+    the snapshot word differs from the (p-atomic, trusted) bitmap — the
+    crash hit the window between a commit and its checksum refresh; the
+    caller refreshes.  {!Csum_corrupt} means the snapshot matches but
+    the content does not hash to the stored checksum, or the bitmap has
+    bits outside the layout's mask: the leaf is unreadable. *)
+let verify_checksum r ~leaf t =
+  if not t.checksums then Csum_ok
+  else begin
+    let bm = read_bitmap r ~leaf t in
+    if bm land lnot (full_mask t) <> 0 then Csum_corrupt
+    else begin
+      let snap = Scm.Region.read_word r (leaf + t.csum_off + 8) in
+      if snap <> bm then Csum_stale
+      else if
+        compute_checksum r ~leaf t bm
+        = Scm.Region.read_word r (leaf + t.csum_off)
+      then Csum_ok
+      else Csum_corrupt
+    end
+  end

@@ -9,10 +9,15 @@ type t = {
   value_bytes : int;
   fingerprints : bool;
   split_arrays : bool;
+  checksums : bool;
+      (** Optional 16-byte integrity cell (checksum word + bitmap
+          snapshot) between pNext and the data cells; off by default so
+          persist counts match the paper. *)
   fp_off : int;
   bitmap_off : int;
   lock_off : int;
   next_off : int;
+  csum_off : int;  (** -1 when [checksums] is off *)
   data_off : int;
   bytes : int;  (** total leaf footprint *)
 }
@@ -20,7 +25,8 @@ type t = {
 val align8 : int -> int
 
 (** @raise Invalid_argument on m outside [2,64], value widths that are
-    not positive multiples of 8, or key cells other than 8/16 bytes. *)
+    not positive multiples of 8, or key cells other than 8/16 bytes.
+    The layout has no checksum cell; see {!with_checksums}. *)
 val make :
   m:int ->
   key_bytes:int ->
@@ -28,6 +34,10 @@ val make :
   fingerprints:bool ->
   split_arrays:bool ->
   t
+
+(** The same layout with the 16-byte integrity cell inserted between
+    pNext and the data cells (idempotent). *)
+val with_checksums : t -> t
 
 (** {1 Cell addressing} (absolute offsets, given the leaf base) *)
 
@@ -67,3 +77,32 @@ val zero_leaf : Scm.Region.t -> leaf:int -> t -> unit
 (** Persistently copy the full content of [src] into [dst]
     (SplitLeaf steps 6–7). *)
 val copy_leaf : Scm.Region.t -> t -> src:int -> dst:int -> unit
+
+(** {1 Optional per-leaf integrity checksum}
+
+    When the layout carries a checksum cell, every committed leaf
+    mutation is followed by {!write_checksum}, and recovery validates
+    each leaf with {!verify_checksum} before trusting its content. *)
+
+type csum_status =
+  | Csum_ok
+  | Csum_stale
+      (** Snapshot word ≠ bitmap: crash hit the window between a
+          p-atomic commit and its checksum refresh.  The bitmap is
+          trusted; refresh the cell. *)
+  | Csum_corrupt
+      (** Content does not hash to the stored checksum under a current
+          snapshot (or the bitmap has bits outside the mask): torn or
+          media-damaged leaf. *)
+
+(** Checksum of the committed content under bitmap [bm]: bitmap plus
+    fingerprint/key/value of every occupied slot.  Free slots and the
+    next pointer are excluded (pre-publish writes and micro-logged link
+    updates must not invalidate the cell). *)
+val compute_checksum : Scm.Region.t -> leaf:int -> t -> int -> int
+
+(** Recompute and persist the integrity cell against the current
+    bitmap; no-op when the layout has no checksum cell. *)
+val write_checksum : Scm.Region.t -> leaf:int -> t -> unit
+
+val verify_checksum : Scm.Region.t -> leaf:int -> t -> csum_status

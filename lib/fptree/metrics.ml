@@ -31,3 +31,7 @@ let split_us =
 let find_retries =
   Obs.Registry.histogram "fptree_find_retries"
     ~help:"speculative (seqlock) aborts before a find committed"
+
+let quarantined_leaves =
+  Obs.Registry.counter "fptree_quarantined_leaves_total"
+    ~help:"leaves quarantined by recovery checksum validation"

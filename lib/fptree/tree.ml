@@ -30,6 +30,13 @@ type config = {
   n_split_logs : int;
   n_delete_logs : int;
   htm_retries : int;
+  htm_backoff : int;     (** backoff ceiling between speculative retries *)
+  checksums : bool;
+      (** Per-leaf integrity cell: every committed leaf mutation is
+          followed by a checksum refresh, and recovery quarantines
+          leaves that fail validation instead of trusting them.  Off by
+          default — the extra persists would skew the paper's Table 1 /
+          Fig. 11 counts. *)
 }
 
 (** Single-threaded FPTree defaults (Table 1: leaf 56).  The paper's
@@ -45,7 +52,8 @@ type config = {
 let fptree_config =
   { m = 56; value_bytes = 8; inner_keys = 512; fingerprints = true;
     split_arrays = false; use_groups = true; group_size = 8;
-    n_split_logs = 1; n_delete_logs = 1; htm_retries = 8 }
+    n_split_logs = 1; n_delete_logs = 1; htm_retries = 8;
+    htm_backoff = 1024; checksums = false }
 
 (** Concurrent FPTree defaults (Table 1: leaf 64, inner 128; no leaf
     groups — they are a central synchronization point). *)
@@ -84,6 +92,62 @@ let free_sentinel () =
   let rec s = { fl_leaf = -1; fl_prev = s; fl_next = s } in
   s
 
+(* ---- persistent tree descriptor layout ----
+
+   Key-representation independent, and at the toplevel so offline tools
+   (the fsck subsystem) can parse a region without instantiating the
+   functor. *)
+
+let meta_status = 0
+let meta_m = 8
+let meta_value_bytes = 16
+let meta_key_kind = 24
+let meta_flags = 32
+let meta_n_split = 40
+let meta_n_delete = 48
+let meta_group_size = 56
+let meta_head = 64
+let meta_group_head = 80
+let meta_group_tail = 96
+let meta_logs = 128
+
+let meta_bytes cfg =
+  meta_logs + ((cfg.n_split_logs + cfg.n_delete_logs + 2) * Microlog.slot_bytes)
+
+let flags_of cfg =
+  (if cfg.fingerprints then 1 else 0)
+  lor (if cfg.split_arrays then 2 else 0)
+  lor (if cfg.use_groups then 4 else 0)
+  lor (if cfg.checksums then 8 else 0)
+
+let config_of_meta region meta base_cfg =
+  let w off = Int64.to_int (Scm.Region.read_int64 region (meta + off)) in
+  let flags = w meta_flags in
+  { base_cfg with
+    m = w meta_m;
+    value_bytes = w meta_value_bytes;
+    fingerprints = flags land 1 <> 0;
+    split_arrays = flags land 2 <> 0;
+    use_groups = flags land 4 <> 0;
+    checksums = flags land 8 <> 0;
+    n_split_logs = w meta_n_split;
+    n_delete_logs = w meta_n_delete;
+    group_size = w meta_group_size;
+  }
+
+(** Key-cell footprint for a persisted key-kind word (0 = inline 8-byte
+    keys, otherwise a 16-byte persistent pointer cell) — lets offline
+    tools reconstruct the leaf layout without the key functor. *)
+let key_cell_bytes_of_kind kind = if kind = 0 then 8 else Pmem.Pptr.size_bytes
+
+(** Leaf layout implied by a tree configuration. *)
+let layout_of ~key_cell_bytes cfg =
+  let l =
+    Layout.make ~m:cfg.m ~key_bytes:key_cell_bytes ~value_bytes:cfg.value_bytes
+      ~fingerprints:cfg.fingerprints ~split_arrays:cfg.split_arrays
+  in
+  if cfg.checksums then Layout.with_checksums l else l
+
 module Make (K : Keys.KEY) = struct
   type key = K.t
 
@@ -109,6 +173,9 @@ module Make (K : Keys.KEY) = struct
     scratch_keys : K.t array;
     scratch_slots : int array;
     stats : stats;
+    (* leaves that failed checksum validation during recovery: spliced
+       out of the chain but kept allocated for offline salvage *)
+    mutable quarantined : int list;
   }
 
   let region t = t.ctx.Keys.region
@@ -118,23 +185,8 @@ module Make (K : Keys.KEY) = struct
 
   let alloc t = t.ctx.Keys.alloc
 
-  (* ---- persistent tree descriptor layout ---- *)
-
-  let meta_status = 0
-  let meta_m = 8
-  let meta_value_bytes = 16
-  let meta_key_kind = 24
-  let meta_flags = 32
-  let meta_n_split = 40
-  let meta_n_delete = 48
-  let meta_group_size = 56
-  let meta_head = 64
-  let meta_group_head = 80
-  let meta_group_tail = 96
-  let meta_logs = 128
-
-  let meta_bytes cfg =
-    meta_logs + ((cfg.n_split_logs + cfg.n_delete_logs + 2) * Microlog.slot_bytes)
+  (* (the descriptor-layout constants — [meta_status] .. [meta_logs],
+     [meta_bytes] — live at the toplevel, shared with offline tools) *)
 
   let split_log_off t i = t.meta + meta_logs + (i * Microlog.slot_bytes)
   let delete_log_off t i = split_log_off t (t.config.n_split_logs + i)
@@ -161,6 +213,12 @@ module Make (K : Keys.KEY) = struct
 
   let leaf_bitmap t leaf = Layout.read_bitmap (region t) ~leaf t.layout
   let leaf_next t leaf = Layout.read_next (region t) ~leaf t.layout
+
+  (* Refresh the leaf's integrity cell after a committed mutation; free
+     when checksums are off (one field test). *)
+  let[@inline] refresh_csum t leaf =
+    if t.layout.Layout.checksums then
+      Layout.write_checksum (region t) ~leaf t.layout
 
   let leaf_is_full t leaf =
     Layout.bitmap_is_full t.layout (leaf_bitmap t leaf)
@@ -599,6 +657,8 @@ module Make (K : Keys.KEY) = struct
     clear_stale_cells t cur;
     clear_stale_cells t fresh;
     Layout.write_next_persist r ~leaf:cur t.layout (pptr_of t fresh);
+    refresh_csum t cur;
+    refresh_csum t fresh;
     sep
 
   let split_leaf t (leaf : Inner.leaf_ref) =
@@ -648,7 +708,9 @@ module Make (K : Keys.KEY) = struct
             (Layout.full_mask t.layout land lnot upper);
           clear_stale_cells t cur;
           clear_stale_cells t fresh;
-          Layout.write_next_persist r ~leaf:cur t.layout (pptr_of t fresh)
+          Layout.write_next_persist r ~leaf:cur t.layout (pptr_of t fresh);
+          refresh_csum t cur;
+          refresh_csum t fresh
         end;
         Microlog.reset log
       end
@@ -734,7 +796,7 @@ module Make (K : Keys.KEY) = struct
         (* Elided lock busy at entry: explicit abort. *)
         Spec.note_explicit_abort t.spec;
         Spec.note_abort t.spec;
-        Spec.relax ();
+        Spec.backoff t.spec attempt;
         lock_attempt t k (attempt + 1)
       end
       else
@@ -745,7 +807,7 @@ module Make (K : Keys.KEY) = struct
           else begin
             Spec.note_conflict t.spec;
             Spec.note_abort t.spec;
-            Spec.relax ();
+            Spec.backoff t.spec attempt;
             lock_attempt t k (attempt + 1)
           end
         | leaf ->
@@ -755,7 +817,7 @@ module Make (K : Keys.KEY) = struct
               unlock t leaf;
               Spec.note_conflict t.spec;
               Spec.note_abort t.spec;
-              Spec.relax ();
+              Spec.backoff t.spec attempt;
               lock_attempt t k (attempt + 1)
             end
           else begin
@@ -765,7 +827,7 @@ module Make (K : Keys.KEY) = struct
               Spec.note_conflict t.spec
             else Spec.note_explicit_abort t.spec;
             Spec.note_abort t.spec;
-            Spec.relax ();
+            Spec.backoff t.spec attempt;
             lock_attempt t k (attempt + 1)
           end
 
@@ -805,7 +867,7 @@ module Make (K : Keys.KEY) = struct
         (* A writer is inside: the elided lock is busy — explicit. *)
         Spec.note_explicit_abort t.spec;
         Spec.note_abort t.spec;
-        Spec.relax ();
+        Spec.backoff t.spec attempt;
         find_attempt t k h (attempt + 1)
       end
       else
@@ -814,7 +876,7 @@ module Make (K : Keys.KEY) = struct
           if not (Spec.read_validate t.spec v0) then Spec.note_conflict t.spec
           else Spec.note_explicit_abort t.spec;
           Spec.note_abort t.spec;
-          Spec.relax ();
+          Spec.backoff t.spec attempt;
           find_attempt t k h (attempt + 1)
         end
         else begin
@@ -824,7 +886,7 @@ module Make (K : Keys.KEY) = struct
             else begin
               Spec.note_conflict t.spec;
               Spec.note_abort t.spec;
-              Spec.relax ();
+              Spec.backoff t.spec attempt;
               find_attempt t k h (attempt + 1)
             end
           | s ->
@@ -835,13 +897,13 @@ module Make (K : Keys.KEY) = struct
             if not (Spec.read_validate t.spec v0) then begin
               Spec.note_conflict t.spec;
               Spec.note_abort t.spec;
-              Spec.relax ();
+              Spec.backoff t.spec attempt;
               find_attempt t k h (attempt + 1)
             end
             else if is_locked leaf then begin
               Spec.note_explicit_abort t.spec;
               Spec.note_abort t.spec;
-              Spec.relax ();
+              Spec.backoff t.spec attempt;
               find_attempt t k h (attempt + 1)
             end
             else begin
@@ -910,7 +972,8 @@ module Make (K : Keys.KEY) = struct
     let slot = Layout.first_zero t.layout bm in
     assert (slot >= 0);
     write_entry t leaf slot k v h;
-    Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot))
+    Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot));
+    refresh_csum t leaf
 
   (* pmcheck scope: attribute trace events to the operation and bound
      the analyzer's dirty-at-publication check.  The closure is built
@@ -1002,6 +1065,7 @@ module Make (K : Keys.KEY) = struct
       end;
       let bm' = bm land lnot (1 lsl prev_slot) lor (1 lsl slot) in
       Layout.commit_bitmap r ~leaf:tl t.layout bm';
+      refresh_csum t tl;
       if not K.inline then K.reset_ref t.ctx ~off:(key_cell t tl prev_slot);
       (match sep_right with
       | Some (sep, right) when did_split ->
@@ -1068,6 +1132,7 @@ module Make (K : Keys.KEY) = struct
         let bm = leaf_bitmap t leaf.Inner.off in
         Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
           (bm land lnot (1 lsl slot));
+        refresh_csum t leaf.Inner.off;
         K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot);
         unlock t leaf;
         true
@@ -1081,6 +1146,7 @@ module Make (K : Keys.KEY) = struct
          let bm = leaf_bitmap t leaf.Inner.off in
          Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
            (bm land lnot (1 lsl slot));
+         refresh_csum t leaf.Inner.off;
          K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot)
        end);
       Spec.with_write t.spec (fun () -> Inner.remove_leaf t.inner K.compare k);
@@ -1239,16 +1305,16 @@ module Make (K : Keys.KEY) = struct
     { key_probes = 0; finds = 0; inserts = 0; updates = 0; deletes = 0;
       leaf_splits = 0; leaf_deletes = 0 }
 
-  let layout_of_config cfg ~key_cell_bytes =
-    Layout.make ~m:cfg.m ~key_bytes:key_cell_bytes ~value_bytes:cfg.value_bytes
-      ~fingerprints:cfg.fingerprints ~split_arrays:cfg.split_arrays
+  let layout_of_config cfg ~key_cell_bytes = layout_of ~key_cell_bytes cfg
 
   let build_volatile ctx cfg meta =
     let layout = layout_of_config cfg ~key_cell_bytes:K.cell_bytes in
     let split, del, getl, freel = make_logs ctx.Keys.region meta cfg in
     {
       ctx; layout; config = cfg; meta;
-      spec = Spec.create ~retry_threshold:cfg.htm_retries ();
+      spec =
+        Spec.create ~retry_threshold:cfg.htm_retries
+          ~backoff_ceiling:cfg.htm_backoff ();
       inner = Inner.create ~fanout:(cfg.inner_keys + 1) ~dummy_key:K.dummy
                 (Inner.leaf_ref (-1));
       split_logs = Microlog.Pool.create split;
@@ -1263,6 +1329,7 @@ module Make (K : Keys.KEY) = struct
       scratch_keys = Array.make layout.Layout.m K.dummy;
       scratch_slots = Array.make layout.Layout.m 0;
       stats = fresh_stats ();
+      quarantined = [];
     }
 
   (* Finish initialization: runs both on first creation and on recovery
@@ -1293,12 +1360,8 @@ module Make (K : Keys.KEY) = struct
     (* (Re-)zero the first leaf: idempotent, and a crash may have hit
        between obtaining the leaf and zeroing it. *)
     Layout.zero_leaf (region t) ~leaf:(read_head t).Pptr.off t.layout;
+    refresh_csum t (read_head t).Pptr.off;
     write_meta_word t meta_status 1
-
-  let flags_of cfg =
-    (if cfg.fingerprints then 1 else 0)
-    lor (if cfg.split_arrays then 2 else 0)
-    lor (if cfg.use_groups then 4 else 0)
 
   (* The seven configuration words live in one contiguous span
      ([meta_m, meta_group_size]) with no ordering constraints among
@@ -1327,20 +1390,6 @@ module Make (K : Keys.KEY) = struct
       Scm.Pmtrace.track_reset ~region;
       Scm.Pmtrace.leaf_layout ~region ~bytes:t.layout.Layout.bytes
     end
-
-  let config_of_meta region meta base_cfg =
-    let w off = Int64.to_int (Region.read_int64 region (meta + off)) in
-    let flags = w meta_flags in
-    { base_cfg with
-      m = w meta_m;
-      value_bytes = w meta_value_bytes;
-      fingerprints = flags land 1 <> 0;
-      split_arrays = flags land 2 <> 0;
-      use_groups = flags land 4 <> 0;
-      n_split_logs = w meta_n_split;
-      n_delete_logs = w meta_n_delete;
-      group_size = w meta_group_size;
-    }
 
   (** Create a fresh tree in [alloc]'s region.  The tree descriptor is
       anchored at the allocator root. *)
@@ -1420,12 +1469,86 @@ module Make (K : Keys.KEY) = struct
           register_group t g;
           for i = 0 to t.config.group_size - 1 do
             let l = group_leaf t g i in
-            if not (Hashtbl.mem in_list l) then add_free_leaf t l
+            (* Quarantined leaves are out of the list but must not be
+               recycled as free. *)
+            if not (Hashtbl.mem in_list l) && not (List.mem l t.quarantined)
+            then add_free_leaf t l
           done;
           scan (group_next t g)
         end
       in
       scan (read_group_head t)
+    end
+
+  (* ---- recovery checksum validation (quarantine pass) ---- *)
+
+  (* A next pointer is followable iff it is null or names an aligned
+     leaf-sized span inside this region; a torn or media-damaged
+     pointer fails this and truncates the chain (the keys behind it are
+     unreachable either way). *)
+  let plausible_next t p =
+    Pptr.is_null p
+    || (p.Pptr.region_id = Region.id (region t)
+       && p.Pptr.off > 0
+       && p.Pptr.off land 7 = 0
+       && p.Pptr.off + t.layout.Layout.bytes <= Region.size (region t))
+
+  (* Walk the persistent leaf list validating each leaf's integrity
+     cell (checksum layouts only).  Stale cells — a crash hit the
+     window between a p-atomic bitmap commit and the checksum refresh —
+     are recomputed in place.  Corrupt leaves (torn or media-damaged
+     content) are spliced out of the list and quarantined behind
+     [Metrics.quarantined_leaves]: the tree comes back serving the
+     surviving keyspace instead of aborting recovery.  Splices are
+     committed 16-byte pointer publishes, so a crash mid-pass leaves a
+     list this same pass converges on when re-run; a visited set guards
+     against corrupt links closing a cycle. *)
+  let quarantine_pass t =
+    if t.layout.Layout.checksums then begin
+      let r = region t in
+      let visited = Hashtbl.create 64 in
+      let set_next prev p =
+        match prev with
+        | None -> write_head t p
+        | Some leaf ->
+          Pptr.write_committed r (leaf + t.layout.Layout.next_off) p
+      in
+      let sanitize p = if plausible_next t p then p else Pptr.null in
+      let rec walk prev p =
+        if not (Pptr.is_null p) then begin
+          let leaf = p.Pptr.off in
+          if Hashtbl.mem visited leaf then set_next prev Pptr.null
+          else begin
+            Hashtbl.replace visited leaf ();
+            match Layout.verify_checksum r ~leaf t.layout with
+            | Layout.Csum_ok -> walk (Some leaf) (leaf_next t leaf)
+            | Layout.Csum_stale ->
+              Layout.write_checksum r ~leaf t.layout;
+              walk (Some leaf) (leaf_next t leaf)
+            | Layout.Csum_corrupt ->
+              t.quarantined <- leaf :: t.quarantined;
+              Obs.Counter.incr Metrics.quarantined_leaves;
+              let next = sanitize (leaf_next t leaf) in
+              set_next prev next;
+              walk prev next
+          end
+        end
+      in
+      let head = read_head t in
+      let head = if plausible_next t head then head
+        else begin write_head t Pptr.null; Pptr.null end in
+      walk None head;
+      (* An all-corrupt chain leaves a tree with no leaves, which the
+         rest of the code never has to handle: scrub one quarantined
+         leaf back to an empty head (its keys are lost either way). *)
+      if Pptr.is_null (read_head t) then
+        match t.quarantined with
+        | [] -> ()
+        | leaf :: rest ->
+          Layout.zero_leaf r ~leaf t.layout;
+          refresh_csum t leaf;
+          write_head t (pptr_of t leaf);
+          t.quarantined <- rest
     end
 
   (** Re-open the tree persisted in [alloc]'s region after a restart:
@@ -1461,6 +1584,9 @@ module Make (K : Keys.KEY) = struct
           recover_freeleaf t;
           Microlog.Pool.iter (recover_split t) t.split_logs;
           Microlog.Pool.iter (recover_delete t) t.delete_logs);
+    if initialized && t.layout.Layout.checksums then
+      Obs.Trace.with_span "fptree.recovery.quarantine" (fun () ->
+          quarantine_pass t);
     Obs.Trace.with_span "fptree.recovery.rebuild" (fun () ->
         rebuild_volatile t);
     t
@@ -1479,7 +1605,11 @@ module Make (K : Keys.KEY) = struct
       in
       scan (read_group_head t)
     end
-    else iter_leaves t (fun leaf -> acc := leaf :: !acc);
+    else begin
+      iter_leaves t (fun leaf -> acc := leaf :: !acc);
+      (* Quarantined leaves are off the list but still allocated. *)
+      List.iter (fun leaf -> acc := leaf :: !acc) t.quarantined
+    end;
     if not K.inline then
       iter_leaves t (fun leaf ->
           let bm = leaf_bitmap t leaf in
@@ -1490,6 +1620,11 @@ module Make (K : Keys.KEY) = struct
               | _ -> ()
           done);
     !acc
+
+  (** Leaves quarantined by the last {!recover}'s checksum validation
+      (offsets, newest first); empty on clean recoveries and when
+      checksums are off. *)
+  let quarantined t = t.quarantined
 
   (** Structural invariant check (tests): leaves are in strictly
       increasing key order along the linked list, every key routes to

@@ -1,0 +1,43 @@
+(** Offline structural audit ("fsck") of a persistent FPTree region:
+    cross-checks the allocator's block headers against the tree's
+    persistent structure (descriptor, linked leaf list, leaf groups,
+    out-of-line key blocks, micro-log parked blocks), classifies any
+    divergence, and optionally repairs it in place. *)
+
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  cls : string;
+      (** [orphan] (allocated leaf/group-sized block nothing owns),
+          [leak] (any other unowned block), [dangling-link] (pointer to
+          an unallocated or implausible target), [double-link] (a leaf
+          linked twice — shared tail or cycle), [header-corrupt]
+          (untrustworthy descriptor), [leaf-corrupt] / [checksum-stale]
+          (integrity-cell validation, checksummed trees only),
+          [uninitialized], [unreclaimable]. *)
+  off : int;  (** region offset the finding is about *)
+  detail : string;
+  repaired : bool;  (** repair mode fixed it in this run *)
+}
+
+type report = {
+  findings : finding list;  (** in discovery order *)
+  blocks : int;             (** allocated blocks in the arena *)
+  chain_leaves : int;       (** leaves reachable along the linked list *)
+  keys : int;               (** committed entries in chain leaves *)
+  repairs : int;            (** repair actions taken (repair mode) *)
+}
+
+(** Unrepaired error-severity findings: the exit-2 predicate. *)
+val errors : report -> finding list
+
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Audit the formatted arena in [region]; with [repair], additionally
+    splice bad links, refresh stale integrity cells, and reclaim
+    unowned blocks — all crash-safe, idempotent actions (re-running
+    converges).  Truncating a bad link loses the keys behind it; they
+    were unreachable either way.
+    @raise Failure if the region is not a formatted arena. *)
+val check : ?repair:bool -> Scm.Region.t -> report

@@ -54,26 +54,36 @@ let g_fallbacks =
   Obs.Registry.counter "htm_fallbacks_total"
     ~help:"entries into the fallback mutex after the retry budget"
 
+let g_backoff_waits =
+  Obs.Registry.counter "htm_backoff_waits_total"
+    ~help:"bounded-exponential backoff waits between speculative retries"
+
 type t = {
   version : int Atomic.t;
   fallback : Mutex.t;
   retry_threshold : int;
+  backoff_ceiling : int;
   (* per-lock sharded statistics (exact under domains) *)
   aborts : Obs.Counter.t;
   conflicts : Obs.Counter.t;
   explicit_aborts : Obs.Counter.t;
   fallbacks : Obs.Counter.t;
+  backoff_waits : Obs.Counter.t;
 }
 
-let create ?(retry_threshold = 8) () =
+let create ?(retry_threshold = 8) ?(backoff_ceiling = 1024) () =
+  if backoff_ceiling < 1 then
+    invalid_arg "Speculative_lock.create: backoff_ceiling must be >= 1";
   {
     version = Atomic.make 0;
     fallback = Mutex.create ();
     retry_threshold;
+    backoff_ceiling;
     aborts = Obs.Counter.make ();
     conflicts = Obs.Counter.make ();
     explicit_aborts = Obs.Counter.make ();
     fallbacks = Obs.Counter.make ();
+    backoff_waits = Obs.Counter.make ();
   }
 
 let[@inline] count_abort t =
@@ -99,6 +109,23 @@ type 'a outcome = Commit of 'a | Abort
 
 let cpu_relax () = Domain.cpu_relax ()
 
+(** Bounded exponential backoff before retry [attempt] (0-based: the
+    first retry waits ~2 relax iterations, doubling up to the lock's
+    ceiling).  A deterministic per-domain jitter term — an arithmetic
+    mix of the domain id and the attempt, no RNG state, no allocation —
+    desynchronizes domains that aborted on the same conflict so they do
+    not re-collide in lockstep.  Counted in the per-lock stats. *)
+let backoff t attempt =
+  Obs.Counter.incr t.backoff_waits;
+  Obs.Counter.incr g_backoff_waits;
+  let spins = min t.backoff_ceiling (1 lsl min (attempt + 1) 20) in
+  let d = (Domain.self () :> int) in
+  let h = ((d + 1) * 0x9E3779B1) lxor (attempt * 0x85EBCA77) in
+  let jitter = (h land max_int) mod (spins + 1) in
+  for _ = 1 to spins + jitter do
+    cpu_relax ()
+  done
+
 (** Run [f] as a TSX-style transaction.  [f] must be free of side
     effects on shared transient state (it may CAS leaf locks: a
     successful CAS followed by a failed validation is undone by the
@@ -113,7 +140,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
         (* A writer is inside: the elided lock is busy. *)
         count_explicit t;
         count_abort t;
-        cpu_relax ();
+        backoff t attempt;
         optimistic (attempt + 1)
       end
       else
@@ -129,7 +156,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
           (match result with Ok (Commit x) -> on_rollback x | _ -> ());
           count_conflict t;
           count_abort t;
-          cpu_relax ();
+          backoff t attempt;
           optimistic (attempt + 1)
         end
         else
@@ -138,7 +165,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
           | Ok Abort ->
             count_explicit t;
             count_abort t;
-            cpu_relax ();
+            backoff t attempt;
             optimistic (attempt + 1)
           | Error e -> raise e
     end
@@ -223,6 +250,7 @@ type stats = {
   conflicts : int;
   explicit_aborts : int;
   fallbacks : int;
+  backoff_waits : int;
 }
 
 (** Merged (all-domain) totals for this lock. *)
@@ -232,6 +260,7 @@ let stats (t : t) =
     conflicts = Obs.Counter.value t.conflicts;
     explicit_aborts = Obs.Counter.value t.explicit_aborts;
     fallbacks = Obs.Counter.value t.fallbacks;
+    backoff_waits = Obs.Counter.value t.backoff_waits;
   }
 
 let merge a b =
@@ -240,9 +269,12 @@ let merge a b =
     conflicts = a.conflicts + b.conflicts;
     explicit_aborts = a.explicit_aborts + b.explicit_aborts;
     fallbacks = a.fallbacks + b.fallbacks;
+    backoff_waits = a.backoff_waits + b.backoff_waits;
   }
 
-let zero_stats = { aborts = 0; conflicts = 0; explicit_aborts = 0; fallbacks = 0 }
+let zero_stats =
+  { aborts = 0; conflicts = 0; explicit_aborts = 0; fallbacks = 0;
+    backoff_waits = 0 }
 
 (** Per-domain-shard breakdown: [(shard, stats)] for every shard with
     at least one non-zero counter (shard = domain id mod
@@ -265,5 +297,8 @@ let shard_stats (t : t) =
   List.iter
     (fun (s, v) -> Hashtbl.replace tbl s { (get s) with fallbacks = v })
     (Obs.Counter.per_shard t.fallbacks);
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with backoff_waits = v })
+    (Obs.Counter.per_shard t.backoff_waits);
   Hashtbl.fold (fun s r acc -> (s, r) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

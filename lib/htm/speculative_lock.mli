@@ -11,7 +11,11 @@
 
 type t
 
-val create : ?retry_threshold:int -> unit -> t
+(** [backoff_ceiling] bounds the exponential backoff between
+    speculative retries (maximum relax-loop iterations per wait,
+    default 1024; must be >= 1).
+    @raise Invalid_argument on a ceiling < 1. *)
+val create : ?retry_threshold:int -> ?backoff_ceiling:int -> unit -> t
 
 type 'a outcome =
   | Commit of 'a
@@ -55,6 +59,15 @@ val note_conflict : t -> unit
 val note_explicit_abort : t -> unit
 
 val relax : unit -> unit
+
+(** [backoff t attempt] waits before retry [attempt] (0-based) of an
+    optimistic section: bounded exponential relax-loop (doubling up to
+    the lock's ceiling) plus a deterministic per-domain jitter term, so
+    domains that aborted on the same conflict do not retry in lockstep.
+    Counted as [backoff_waits] in the statistics.  Raw-path callers use
+    this in place of {!relax} when they track the attempt number. *)
+val backoff : t -> int -> unit
+
 val lock_fallback : t -> unit
 val relock_fallback : t -> unit
 val unlock_fallback : t -> unit
@@ -74,6 +87,7 @@ type stats = {
   conflicts : int;
   explicit_aborts : int;
   fallbacks : int;
+  backoff_waits : int;  (** bounded-exponential backoff waits between retries *)
 }
 
 (** Merged (all-domain) totals for this lock. *)

@@ -1,0 +1,236 @@
+(** Randomized crash–recover–verify loops (the "chaos" harness).
+
+    Where {!Enumerate} is exhaustive over one short script, chaos runs
+    long: a single region lives through hundreds of seeded iterations,
+    each applying a random batch of operations to the tree and to an
+    in-DRAM oracle, then ending in one of
+
+    - a {e clean} restart (nothing lost, re-open and rebuild),
+    - a {e crash} at a random persist boundary (unflushed words drop),
+    - a {e torn store} (a multi-word store is cut mid-word, then crash),
+    - an {e allocation failure} mid-operation (treated as crash-restart:
+      the aborted operation may hold locks and armed logs, exactly the
+      state recovery exists to clean up).
+
+    After every restart the recovered tree must pass structural
+    invariants, match the oracle exactly — up to atomicity of the one
+    in-flight operation — hold no leaked blocks, and accept new
+    operations.  Any deviation raises {!Divergence} with the seed and
+    iteration, which reproduce the failure deterministically.
+
+    [sweep_recovery_crashes] is the re-entrancy proof: it crashes
+    {e recovery itself} at every persist boundary in turn and checks
+    that a second recovery converges from each intermediate state. *)
+
+module F = Fptree.Fixed
+
+exception Divergence of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+
+type report = {
+  iterations : int;
+  ops : int;             (** operations applied (committed or in-flight) *)
+  clean : int;           (** clean restarts *)
+  crashes : int;         (** plain injected crashes that fired *)
+  torn : int;            (** torn-store crashes that fired *)
+  alloc_failures : int;  (** injected allocation failures that fired *)
+  final_keys : int;      (** oracle size at the end *)
+}
+
+(* Keys come from a window that slides as iterations pass: narrow
+   enough that updates and deletes hit live keys often, drifting so
+   fresh keys keep arriving and the tree keeps splitting (and therefore
+   allocating — the allocation-failure injector needs allocations to
+   intercept). *)
+let key_space = 4096
+
+let gen_op rng ~window_lo =
+  let k = 1 + window_lo + Random.State.int rng key_space in
+  match Random.State.int rng 8 with
+  | 0 | 1 | 2 | 3 -> Enumerate.Ins (k, Random.State.int rng 1_000_000)
+  | 4 | 5 -> Enumerate.Upd (k, Random.State.int rng 1_000_000)
+  | _ -> Enumerate.Del k
+
+(* Exact tree/model comparison (count first: cheap reject). *)
+let matches t model =
+  F.count t = Hashtbl.length model
+  && Hashtbl.fold (fun k v ok -> ok && F.find t k = Some v) model true
+
+let disarm_all () =
+  Scm.Config.disarm_crash ();
+  Scm.Config.cancel_torn_store ();
+  Pmem.Palloc.cancel_alloc_failure ()
+
+let probe_key = key_space + 1_000_000
+
+(* Post-restart verification: invariants, oracle equality (resolving
+   the in-flight operation into the oracle when the tree committed it),
+   leak audit, usability probe. *)
+let verify_restart ~where t a oracle pending =
+  (try F.check_invariants t
+   with Failure m -> failf "%s: invariant violation: %s" where m);
+  (if not (matches t oracle) then begin
+     match pending with
+     | Some op when
+         (let m' = Hashtbl.copy oracle in
+          Enumerate.apply_model m' op;
+          matches t m') ->
+       Enumerate.apply_model oracle op
+     | _ -> failf "%s: recovered tree diverges from oracle" where
+   end);
+  (match Pmem.Palloc.leaked_blocks a ~reachable:(F.reachable_blocks t) with
+  | [] -> ()
+  | l -> failf "%s: %d leaked blocks" where (List.length l));
+  ignore (F.insert t probe_key 1);
+  if F.find t probe_key <> Some 1 then failf "%s: tree unusable" where;
+  ignore (F.delete t probe_key)
+
+let run ?(arena_bytes = Enumerate.default_arena)
+    ?(mode = Scm.Config.Revert_all_dirty)
+    ?(config = Fptree.Tree.fptree_config) ?(ops_per_iter = 40) ~seed
+    ~iterations () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let rng = Random.State.make [| 0x0C0A05; seed |] in
+  let alloc = ref (Pmem.Palloc.create ~size:arena_bytes ()) in
+  let t = ref (F.create ~config !alloc) in
+  let oracle = Hashtbl.create 1024 in
+  let ops = ref 0 in
+  let clean = ref 0 and crashes = ref 0 and torn = ref 0 in
+  let alloc_failures = ref 0 in
+  for iter = 1 to iterations do
+    let where = Printf.sprintf "chaos seed=%d iter=%d" seed iter in
+    (* Arm this iteration's fault (injectors are process-wide and
+       self-disarming; anything that did not fire is cancelled). *)
+    let fault = Random.State.int rng 4 in
+    (* Thresholds sized so each armed fault usually fires inside the
+       batch (a ~40-op batch crosses a few hundred persists and torn
+       candidates but only a handful of allocations). *)
+    (match fault with
+    | 0 -> ()
+    | 1 ->
+      Scm.Config.schedule_crash_after
+        (1 + Random.State.int rng (ops_per_iter * 4))
+    | 2 ->
+      Scm.Config.schedule_torn_store
+        ~seed:(Random.State.bits rng)
+        (1 + Random.State.int rng (ops_per_iter * 2))
+    | _ -> Pmem.Palloc.schedule_alloc_failure (1 + Random.State.int rng 3));
+    let pending = ref None in
+    let fired = ref `None in
+    let window_lo = iter * ops_per_iter / 4 in
+    (try
+       for _ = 1 to ops_per_iter do
+         let op = gen_op rng ~window_lo in
+         pending := Some op;
+         incr ops;
+         Enumerate.apply_tree !t op;
+         Enumerate.apply_model oracle op;
+         pending := None
+       done
+     with
+    | Scm.Config.Crash_injected ->
+      fired := if fault = 2 then `Torn else `Crash
+    | Pmem.Palloc.Alloc_injected -> fired := `Alloc);
+    disarm_all ();
+    let region = Pmem.Palloc.region !alloc in
+    (match !fired with
+    | `None ->
+      (* Fault armed but never reached (or none armed): clean restart. *)
+      incr clean;
+      pending := None
+    | `Crash ->
+      incr crashes;
+      Scm.Region.crash ~mode region
+    | `Torn ->
+      incr torn;
+      Scm.Region.crash ~mode region
+    | `Alloc ->
+      (* The aborted operation may hold leaf locks and armed micro-logs;
+         restart as if the process died at that point. *)
+      incr alloc_failures;
+      Scm.Region.crash ~mode region);
+    alloc := Pmem.Palloc.of_region region;
+    t := F.recover ~config !alloc;
+    verify_restart ~where !t !alloc oracle !pending
+  done;
+  {
+    iterations;
+    ops = !ops;
+    clean = !clean;
+    crashes = !crashes;
+    torn = !torn;
+    alloc_failures = !alloc_failures;
+    final_keys = Hashtbl.length oracle;
+  }
+
+(* ---- crash-during-recovery sweep ---- *)
+
+type recovery_sweep = {
+  recovery_crash_points : int;  (** recovery persists crashed into *)
+}
+
+(* Rebuild the same crashed image deterministically: fresh arena, the
+   setup prefix crash-free, then ops with a crash at persist
+   [crash_at].  Returns the arena and the model (with the op in flight
+   at the crash, if any). *)
+let build_crashed ~mode ~arena_bytes ~config ~setup ~ops ~crash_at =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  let a = Pmem.Palloc.create ~size:arena_bytes () in
+  let t = F.create ~config a in
+  let m = Hashtbl.create 64 in
+  List.iter (fun op -> Enumerate.apply_tree t op; Enumerate.apply_model m op) setup;
+  Scm.Config.schedule_crash_after crash_at;
+  let pending = ref None in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun op ->
+         pending := Some op;
+         Enumerate.apply_tree t op;
+         Enumerate.apply_model m op;
+         pending := None)
+       ops
+   with Scm.Config.Crash_injected -> crashed := true);
+  Scm.Config.disarm_crash ();
+  if not !crashed then invalid_arg "sweep_recovery_crashes: crash_at beyond script";
+  Scm.Region.crash ~mode (Pmem.Palloc.region a);
+  (a, m, !pending)
+
+(* Recovery must be re-entrant: whatever prefix of recovery's own
+   persists survives a second crash, running recovery again from that
+   state converges to a consistent tree.  Sweeps k = 1, 2, ... until a
+   recovery completes without reaching its k-th persist. *)
+let sweep_recovery_crashes ?(mode = Scm.Config.Revert_all_dirty)
+    ?(arena_bytes = Enumerate.default_arena)
+    ?(config = Fptree.Tree.fptree_config) ~setup ~ops ~crash_at () =
+  let k = ref 1 in
+  let exhausted = ref false in
+  while not !exhausted do
+    let a, m, pending =
+      build_crashed ~mode ~arena_bytes ~config ~setup ~ops ~crash_at
+    in
+    let region = Pmem.Palloc.region a in
+    Scm.Config.schedule_crash_after !k;
+    (match F.recover ~config (Pmem.Palloc.of_region region) with
+    | t ->
+      (* Recovery finished before its k-th persist: verify and stop. *)
+      Scm.Config.disarm_crash ();
+      exhausted := true;
+      verify_restart
+        ~where:(Printf.sprintf "recovery-sweep crash_at=%d k=%d (clean)"
+                  crash_at !k)
+        t (Pmem.Palloc.of_region region) m pending
+    | exception Scm.Config.Crash_injected ->
+      Scm.Config.disarm_crash ();
+      Scm.Region.crash ~mode region;
+      let a2 = Pmem.Palloc.of_region region in
+      let t2 = F.recover ~config a2 in
+      verify_restart
+        ~where:(Printf.sprintf "recovery-sweep crash_at=%d k=%d" crash_at !k)
+        t2 a2 m pending;
+      incr k)
+  done;
+  { recovery_crash_points = !k - 1 }

@@ -95,13 +95,20 @@ let crash_run ~mode ~arena_bytes ~config ~setup ~ops n =
     true
   end
 
+(* [stride] samples every stride-th persist boundary instead of all of
+   them — the way to keep big-leaf (m = 64) sweeps, whose scripts cross
+   thousands of persists, inside a test-suite time budget.  [stride = 1]
+   is the exhaustive sweep. *)
 let sweep_crash_states ?(mode = Scm.Config.Revert_all_dirty)
-    ?(arena_bytes = default_arena) ~config ~setup ops =
+    ?(arena_bytes = default_arena) ?(stride = 1) ~config ~setup ops =
+  if stride < 1 then invalid_arg "sweep_crash_states: stride must be >= 1";
   let n = ref 1 in
+  let points = ref 0 in
   while crash_run ~mode ~arena_bytes ~config ~setup ~ops !n do
-    incr n
+    incr points;
+    n := !n + stride
   done;
-  { crash_points = !n - 1 }
+  { crash_points = !points }
 
 (* ---- missing-persist fault injection ---- *)
 

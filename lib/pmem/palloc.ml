@@ -32,6 +32,10 @@ let max_units = 4096 (* single allocation capped at 256 KiB *)
 let off_magic = 0
 let off_bump = 8
 let off_root = 16
+(* Scratch pointer cell used by [free_orphan]: an orphan block is
+   parked here persistently so a regular [free] can reclaim it with the
+   usual exactly-once log protocol. *)
+let off_scratch = 32
 let off_log_state = 64
 let off_log_dest_region = 72
 let off_log_dest_off = 80
@@ -151,12 +155,41 @@ let create ?(size = 64 * 1024 * 1024) () =
 
 exception Out_of_scm
 
+(* ---- allocation-failure injection ---- *)
+
+exception Alloc_injected
+
+(* Process-wide (like the Scm.Config injectors): the n-th [alloc] from
+   now raises {!Alloc_injected} before any persistent mutation —
+   allocation exhaustion mid-operation, exercising callers'
+   no-leak abort paths. *)
+let alloc_fail_nth = ref None
+let alloc_fail_count = ref 0
+
+let schedule_alloc_failure n =
+  alloc_fail_count := 0;
+  alloc_fail_nth := Some n
+
+let cancel_alloc_failure () = alloc_fail_nth := None
+
+let alloc_fires () =
+  match !alloc_fail_nth with
+  | None -> false
+  | Some n ->
+    incr alloc_fail_count;
+    if !alloc_fail_count >= n then begin
+      alloc_fail_nth := None;
+      true
+    end
+    else false
+
 (* ---- allocation ---- *)
 
 let alloc t ~(into : Pptr.Loc.loc) size =
   if size <= 0 then invalid_arg "Palloc.alloc: size must be positive";
   let units = (size + unit_size - 1) / unit_size in
   if units > max_units then invalid_arg "Palloc.alloc: size too large";
+  if alloc_fires () then raise Alloc_injected;
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
   let r = t.region in
@@ -208,6 +241,18 @@ let free t ~(from : Pptr.Loc.loc) =
   log_clear t;
   t.frees <- t.frees + 1;
   Obs.Counter.incr g_frees
+
+(** Crash-safe reclamation of an orphan: a block that is allocated in
+    the heap but referenced by no persistent pointer (fsck's repair
+    path).  The orphan's address is first parked, persistently, in the
+    header's scratch pointer cell, which then acts as the owning
+    pointer for a regular {!free}.  A crash at any point either leaves
+    the orphan allocated (a later fsck finds and reclaims it again) or
+    completes the free via the operation log. *)
+let free_orphan t ~payload =
+  Pptr.write_persist t.region off_scratch
+    (Pptr.of_region t.region ~off:payload);
+  free t ~from:(Pptr.Loc.make t.region off_scratch)
 
 (* ---- recovery ---- *)
 

@@ -37,6 +37,29 @@ val alloc : t -> into:Pptr.Loc.loc -> int -> unit
     double frees. *)
 val free : t -> from:Pptr.Loc.loc -> unit
 
+(** Crash-safe reclamation of an orphan block (allocated but referenced
+    by no persistent pointer) given its payload offset: parks the
+    address in a header scratch cell, then runs a regular {!free} from
+    it.  A crash either leaves the orphan allocated — a later audit
+    finds it again — or completes the free.  Used by fsck's repair
+    mode.
+    @raise Invalid_argument if [payload] is not an allocated block's
+    payload offset. *)
+val free_orphan : t -> payload:int -> unit
+
+(** {1 Allocation-failure injection}
+
+    Chaos-testing hook, process-wide like the [Scm.Config] injectors:
+    after [schedule_alloc_failure n], the [n]-th {!alloc} from now
+    (1-based) raises {!Alloc_injected} before any persistent mutation —
+    modeling allocation exhaustion mid-operation.  The injector disarms
+    itself after firing. *)
+
+exception Alloc_injected
+
+val schedule_alloc_failure : int -> unit
+val cancel_alloc_failure : unit -> unit
+
 (** {1 Application root anchor} *)
 
 (** The well-known pointer cell applications use to find their data

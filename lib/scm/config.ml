@@ -45,6 +45,18 @@ type t = {
           subsequent persist into a no-op — the "forgotten Persist()"
           mutation the trace analyzer must catch. *)
   mutable skip_count : int;
+  mutable torn_nth_store : int option;
+      (** Torn-write injection: [Some n] makes the n-th subsequent
+          tearable store (any non-p-atomic multi-byte store on the
+          instrumented path) crash mid-store — a prefix of its bytes
+          reaches the persistence domain, the rest does not, and
+          {!Crash_injected} is raised.  P-atomic aligned 8-byte stores
+          ([Region.write_int64_atomic] / [write_word_atomic]) never
+          tear, matching Section 2's "Partial writes" contract. *)
+  mutable torn_count : int;
+  mutable torn_seed : int;
+      (** Decides, deterministically, how many bytes of the torn store
+          survive. *)
 }
 
 let default () = {
@@ -59,6 +71,9 @@ let default () = {
   persist_count = 0;
   skip_nth_persist = None;
   skip_count = 0;
+  torn_nth_store = None;
+  torn_count = 0;
+  torn_seed = 0;
 }
 
 let current = default ()
@@ -106,7 +121,10 @@ let reset () =
   current.crash_after_persists <- d.crash_after_persists;
   current.persist_count <- d.persist_count;
   current.skip_nth_persist <- d.skip_nth_persist;
-  current.skip_count <- d.skip_count
+  current.skip_count <- d.skip_count;
+  current.torn_nth_store <- d.torn_nth_store;
+  current.torn_count <- d.torn_count;
+  current.torn_seed <- d.torn_seed
 
 let set_latency ?write_ns ~read_ns () =
   current.scm_read_ns <- read_ns;
@@ -136,6 +154,34 @@ let persist_skipped () =
     current.skip_count <- current.skip_count + 1;
     if current.skip_count = n then begin
       current.skip_nth_persist <- None;
+      true
+    end
+    else false
+
+(** Arm the torn-store injector: the [n]-th tearable store from now
+    (1-based) tears — its byte prefix becomes durable, the rest is
+    lost, and {!Crash_injected} is raised mid-store.  [seed] decides
+    the tear point. *)
+let schedule_torn_store ?(seed = 0) n =
+  current.torn_count <- 0;
+  current.torn_seed <- seed;
+  current.torn_nth_store <- Some n
+
+let cancel_torn_store () = current.torn_nth_store <- None
+
+(** [true] while a torn store is scheduled: regions consult this before
+    paying for the per-store countdown. *)
+let[@inline] torn_armed () = current.torn_nth_store <> None
+
+(** Called by [Region] on each tearable store while armed; [true] means
+    this store is the one that must tear (the injector disarms). *)
+let torn_fires () =
+  match current.torn_nth_store with
+  | None -> false
+  | Some n ->
+    current.torn_count <- current.torn_count + 1;
+    if current.torn_count >= n then begin
+      current.torn_nth_store <- None;
       true
     end
     else false

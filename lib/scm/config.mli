@@ -26,6 +26,9 @@ type t = {
   mutable persist_count : int;
   mutable skip_nth_persist : int option;
   mutable skip_count : int;
+  mutable torn_nth_store : int option;
+  mutable torn_count : int;
+  mutable torn_seed : int;
 }
 
 val default : unit -> t
@@ -75,3 +78,24 @@ val cancel_persist_skip : unit -> unit
 (** Called by [Region.persist] before anything else; [true] means the
     current persist must be dropped entirely. *)
 val persist_skipped : unit -> bool
+
+(** {1 Torn-write injection}
+
+    Models hardware without the aligned-8-byte p-atomicity guarantee
+    the paper assumes (Section 2, "Partial writes"): the [n]-th
+    tearable store (any non-p-atomic multi-byte store on the
+    instrumented path) crashes mid-store — a deterministic byte prefix
+    reaches the persistence domain, the suffix does not — and
+    {!Crash_injected} is raised.  [Region.write_int64_atomic] /
+    [write_word_atomic] never tear. *)
+
+val schedule_torn_store : ?seed:int -> int -> unit
+val cancel_torn_store : unit -> unit
+
+(** [true] while a torn store is scheduled (cheap pre-check for
+    regions). *)
+val torn_armed : unit -> bool
+
+(** Count one tearable store; [true] when it is the armed one (the
+    injector disarms itself). *)
+val torn_fires : unit -> bool

@@ -143,6 +143,54 @@ let mark_dirty t off len =
 
 let dirty_word_count t = Hashtbl.length t.dirty
 
+(* ---- torn-write injection (instrumented path only) ---- *)
+
+(* Execute the armed tearable store as a torn store: run the full
+   store, restore the unwritten suffix bytes (they never left the store
+   buffer), make the written prefix durable — the cache line was
+   evicted mid-store, so for every word the prefix overlaps the crash
+   pre-image becomes the current (torn) value — then crash.  [mark_dirty]
+   has already run for the span, so every affected word has a recorded
+   pre-image to overwrite. *)
+let tear_and_crash t off len do_store =
+  let pre = Bytes.sub t.buf off len in
+  do_store ();
+  let cut =
+    1 + (Hashtbl.hash (Config.current.torn_seed, off, len) mod (len - 1))
+  in
+  Bytes.blit pre cut t.buf (off + cut) (len - cut);
+  if Config.current.crash_tracking then begin
+    let first = Cacheline.word_of_offset off in
+    let last = Cacheline.word_of_offset (off + cut - 1) in
+    for w = first to last do
+      Hashtbl.replace t.dirty w (word_value t w)
+    done
+  end;
+  raise Config.Crash_injected
+
+(* ---- media-fault injection ---- *)
+
+(** Flip [bits] seeded pseudo-random bits in the committed image of
+    [off, off+len): both the volatile view and the persistent image
+    change, and the affected words are no longer dirty — the fault
+    lives in the medium, not the cache.  Fault injection for the
+    checksum/quarantine and fsck tests. *)
+let corrupt t ~off ~len ~bits ~seed =
+  check t off len;
+  if len <= 0 || bits <= 0 then
+    invalid_arg "Region.corrupt: empty span or no bits";
+  let rng = Random.State.make [| seed; t.id; off; len |] in
+  for _ = 1 to bits do
+    let b = off + Random.State.int rng len in
+    let v = Char.code (Bytes.get t.buf b) lxor (1 lsl Random.State.int rng 8) in
+    Bytes.set t.buf b (Char.chr v)
+  done;
+  let first = Cacheline.word_of_offset off in
+  let last = Cacheline.word_of_offset (off + len - 1) in
+  for w = first to last do
+    Hashtbl.remove t.dirty w
+  done
+
 (* ---- pmcheck trace hooks (slow path only: tracing forces it) ---- *)
 
 let[@inline] tracing () = Config.current.tracing
@@ -276,9 +324,15 @@ let write_u16 t off v =
     check t off 2;
     touch_lines t off 2;
     mark_dirty t off 2;
-    let silent = tracing () && Bytes.get_uint16_le t.buf off = v land 0xffff in
-    Bytes.set_uint16_le t.buf off v;
-    trace_store t off 2 silent
+    if Config.torn_fires () then
+      tear_and_crash t off 2 (fun () -> Bytes.set_uint16_le t.buf off v)
+    else begin
+      let silent =
+        tracing () && Bytes.get_uint16_le t.buf off = v land 0xffff
+      in
+      Bytes.set_uint16_le t.buf off v;
+      trace_store t off 2 silent
+    end
   end
 
 let write_int32 t off v =
@@ -290,9 +344,28 @@ let write_int32 t off v =
     check t off 4;
     touch_lines t off 4;
     mark_dirty t off 4;
-    let silent = tracing () && Bytes.get_int32_le t.buf off = v in
-    Bytes.set_int32_le t.buf off v;
-    trace_store t off 4 silent
+    if Config.torn_fires () then
+      tear_and_crash t off 4 (fun () -> Bytes.set_int32_le t.buf off v)
+    else begin
+      let silent = tracing () && Bytes.get_int32_le t.buf off = v in
+      Bytes.set_int32_le t.buf off v;
+      trace_store t off 4 silent
+    end
+  end
+
+(* The instrumented 8-byte store; [tearable] is [false] only for the
+   p-atomic variants below, which the torn-write injector must skip
+   (and not count). *)
+let write_int64_instr ~tearable t off v =
+  check t off 8;
+  touch_lines t off 8;
+  mark_dirty t off 8;
+  if tearable && Config.torn_fires () then
+    tear_and_crash t off 8 (fun () -> Bytes.set_int64_le t.buf off v)
+  else begin
+    let silent = tracing () && Bytes.get_int64_le t.buf off = v in
+    Bytes.set_int64_le t.buf off v;
+    trace_store t off 8 silent
   end
 
 let write_int64 t off v =
@@ -300,14 +373,7 @@ let write_int64 t off v =
     check t off 8;
     set_64_le t.buf off v
   end
-  else begin
-    check t off 8;
-    touch_lines t off 8;
-    mark_dirty t off 8;
-    let silent = tracing () && Bytes.get_int64_le t.buf off = v in
-    Bytes.set_int64_le t.buf off v;
-    trace_store t off 8 silent
-  end
+  else write_int64_instr ~tearable:true t off v
 
 (** Store a tagged [int] as a 64-bit little-endian word
     (sign-extended, the exact inverse of {!read_word}); no boxing. *)
@@ -316,27 +382,28 @@ let write_word t off v =
     check t off 8;
     set_64_le t.buf off (Int64.of_int v)
   end
-  else begin
-    check t off 8;
-    touch_lines t off 8;
-    mark_dirty t off 8;
-    let v64 = Int64.of_int v in
-    let silent = tracing () && Bytes.get_int64_le t.buf off = v64 in
-    Bytes.set_int64_le t.buf off v64;
-    trace_store t off 8 silent
-  end
+  else write_int64_instr ~tearable:true t off (Int64.of_int v)
 
 (** A p-atomic 8-byte store: must be word-aligned, so that it can never
-    tear across a crash (Section 2, "Partial writes"). *)
+    tear across a crash (Section 2, "Partial writes").  Exempt from the
+    torn-write injector for the same reason. *)
 let write_int64_atomic t off v =
   if not (Cacheline.is_word_aligned off) then
     invalid_arg "Region.write_int64_atomic: offset not 8-byte aligned";
-  write_int64 t off v
+  if fast_mode t then begin
+    check t off 8;
+    set_64_le t.buf off v
+  end
+  else write_int64_instr ~tearable:false t off v
 
 let write_word_atomic t off v =
   if not (Cacheline.is_word_aligned off) then
     invalid_arg "Region.write_int64_atomic: offset not 8-byte aligned";
-  write_word t off v
+  if fast_mode t then begin
+    check t off 8;
+    set_64_le t.buf off (Int64.of_int v)
+  end
+  else write_int64_instr ~tearable:false t off (Int64.of_int v)
 
 let write_string t off s =
   let len = String.length s in
@@ -346,9 +413,13 @@ let write_string t off s =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      let silent = tracing () && Bytes.sub_string t.buf off len = s in
-      Bytes.blit_string s 0 t.buf off len;
-      trace_store t off len silent
+      if len > 1 && Config.torn_fires () then
+        tear_and_crash t off len (fun () -> Bytes.blit_string s 0 t.buf off len)
+      else begin
+        let silent = tracing () && Bytes.sub_string t.buf off len = s in
+        Bytes.blit_string s 0 t.buf off len;
+        trace_store t off len silent
+      end
     end
 
 let write_bytes t off b =
@@ -359,11 +430,16 @@ let write_bytes t off b =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      let silent =
-        tracing () && Bytes.sub_string t.buf off len = Bytes.sub_string b 0 len
-      in
-      Bytes.blit b 0 t.buf off len;
-      trace_store t off len silent
+      if len > 1 && Config.torn_fires () then
+        tear_and_crash t off len (fun () -> Bytes.blit b 0 t.buf off len)
+      else begin
+        let silent =
+          tracing ()
+          && Bytes.sub_string t.buf off len = Bytes.sub_string b 0 len
+        in
+        Bytes.blit b 0 t.buf off len;
+        trace_store t off len silent
+      end
     end
 
 let blit_internal t ~src ~dst ~len =
@@ -375,12 +451,16 @@ let blit_internal t ~src ~dst ~len =
       touch_lines t src len;
       touch_lines t dst len;
       mark_dirty t dst len;
-      let silent =
-        tracing ()
-        && Bytes.sub_string t.buf dst len = Bytes.sub_string t.buf src len
-      in
-      Bytes.blit t.buf src t.buf dst len;
-      trace_store t dst len silent
+      if len > 1 && Config.torn_fires () then
+        tear_and_crash t dst len (fun () -> Bytes.blit t.buf src t.buf dst len)
+      else begin
+        let silent =
+          tracing ()
+          && Bytes.sub_string t.buf dst len = Bytes.sub_string t.buf src len
+        in
+        Bytes.blit t.buf src t.buf dst len;
+        trace_store t dst len silent
+      end
     end
 
 let fill t off len c =
@@ -390,12 +470,16 @@ let fill t off len c =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
-      let silent =
-        tracing ()
-        && Bytes.sub_string t.buf off len = String.make len c
-      in
-      Bytes.fill t.buf off len c;
-      trace_store t off len silent
+      if len > 1 && Config.torn_fires () then
+        tear_and_crash t off len (fun () -> Bytes.fill t.buf off len c)
+      else begin
+        let silent =
+          tracing ()
+          && Bytes.sub_string t.buf off len = String.make len c
+        in
+        Bytes.fill t.buf off len c;
+        trace_store t off len silent
+      end
     end
 
 (* ---- persistence primitives ---- *)

@@ -99,6 +99,25 @@ val crash : ?mode:Config.crash_mode -> t -> unit
 
 val dirty_word_count : t -> int
 
+(** {1 Fault injection}
+
+    Torn-write injection is armed via {!Config.schedule_torn_store};
+    when armed, the n-th tearable store (any multi-byte store except
+    the p-atomic {!write_int64_atomic} / {!write_word_atomic}) on the
+    instrumented path persists only a deterministic byte prefix of its
+    span and raises {!Config.Crash_injected} mid-store.  Fast-mode runs
+    never tear. *)
+
+(** [corrupt t ~off ~len ~bits ~seed] flips [bits] seeded pseudo-random
+    bits inside [off, off+len) in the {e committed} image: the volatile
+    view and the persistent image both change, and the affected words
+    are dropped from the dirty set (the fault lives in the medium, not
+    the cache).  Models an SCM media error for the checksum/quarantine
+    and fsck tests.
+    @raise Invalid_argument on an empty span, [bits <= 0], or
+    out-of-bounds access. *)
+val corrupt : t -> off:int -> len:int -> bits:int -> seed:int -> unit
+
 (** {1 Durability across processes} *)
 
 (** [save t path] writes the persistent image (dirty words reverted) to

@@ -58,6 +58,27 @@ let test_crash_sweep_groups () =
     (fun (name, setup, ops) -> sweep_one ~config:cfg_groups name setup ops)
     [ List.nth scripts 3; List.nth scripts 4 ]
 
+(* Paper-sized leaves in group mode: the split script crosses thousands
+   of persists, so sample every 11th boundary instead of all of them. *)
+let cfg_m64 =
+  { Tree.fptree_config with
+    Tree.m = 64; Tree.inner_keys = 16; Tree.use_groups = true;
+    Tree.group_size = 4 }
+
+let test_crash_sweep_m64_stride () =
+  let setup = List.init 64 (fun i -> E.Ins ((i + 1) * 10, i)) in
+  (* ~240 persists: a couple of splits (fresh group included) plus the
+     whole-leaf-delete path *)
+  let ops =
+    List.init 70 (fun i -> E.Ins (645 + i, i))
+    @ List.init 8 (fun i -> E.Del ((i + 1) * 10))
+  in
+  let r = E.sweep_crash_states ~stride:11 ~config:cfg_m64 ~setup ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "m=64 groups: sampled %d crash points" r.E.crash_points)
+    true
+    (r.E.crash_points >= 15)
+
 let test_crash_sweep_random_eviction () =
   let name, setup, ops = List.nth scripts 3 in
   let r =
@@ -279,6 +300,8 @@ let () =
         [
           Alcotest.test_case "crash sweep: 5 ops at m=8" `Slow test_crash_sweep_all_ops;
           Alcotest.test_case "crash sweep: groups" `Slow test_crash_sweep_groups;
+          Alcotest.test_case "crash sweep: m=64 groups, sampled" `Slow
+            test_crash_sweep_m64_stride;
           Alcotest.test_case "crash sweep: random eviction" `Slow
             test_crash_sweep_random_eviction;
           Alcotest.test_case "missing-persist injection: 5 ops" `Slow

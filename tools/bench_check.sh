@@ -86,4 +86,25 @@ if echo "$pmout" | grep -q 'missing-persist'; then
   echo "FAIL: missing-persist findings on a clean run"; exit 1
 fi
 
+echo "== chaos smoke (fixed-seed crash-recover-verify loop) =="
+# exit 2 = divergence from the in-DRAM oracle; set -e aborts the check
+"$CLI" chaos --seed 42 --iterations 60 --ops 30
+"$CLI" chaos --seed 42 --iterations 40 --ops 30 --checksums
+
+echo "== fsck smoke (corrupt -> detect -> repair -> clean) =="
+FSCK_IMG=/tmp/bench_check_fsck.scm
+rm -f "$FSCK_IMG"
+"$CLI" create "$FSCK_IMG" --checksums > /dev/null
+"$CLI" fill "$FSCK_IMG" 2000 > /dev/null
+"$CLI" fsck "$FSCK_IMG" --summary
+"$CLI" corrupt "$FSCK_IMG" link > /dev/null
+if "$CLI" fsck "$FSCK_IMG" --summary > /dev/null 2>&1; then
+  echo "FAIL: fsck missed an injected dangling link"; exit 1
+fi
+"$CLI" fsck "$FSCK_IMG" --repair --summary
+"$CLI" fsck "$FSCK_IMG" --summary > /dev/null || {
+  echo "FAIL: region not clean after fsck --repair"; exit 1; }
+# the repaired region must still open and answer queries
+"$CLI" stats "$FSCK_IMG" > /dev/null
+
 echo "== done: /tmp/bench_check_hotpath.json, $DUMP, $TRACE =="

@@ -414,6 +414,17 @@ module Make (K : Fptree.Keys.KEY) = struct
 
   let scm_bytes t = Pmem.Palloc.live_bytes (alloc t)
 
+  (* NV-Tree drives the coarse one-word protocol ([Spec.with_txn]), so
+     its invalidations land in the global [conflicts] bucket. *)
+  let htm_stats t =
+    let s = Spec.stats t.spec in
+    [ ("aborts", s.Spec.aborts);
+      ("conflicts", s.Spec.conflicts);
+      ("precise_conflicts", s.Spec.precise_conflicts);
+      ("explicit_aborts", s.Spec.explicit_aborts);
+      ("fallbacks", s.Spec.fallbacks);
+      ("backoff_waits", s.Spec.backoff_waits) ]
+
   let dram_bytes t =
     let per_pln = (t.pln_cap * (K.dram_bytes K.dummy + 16)) + 24 in
     (t.n_pln * per_pln) + (t.n_pln * (K.dram_bytes K.dummy + 8))

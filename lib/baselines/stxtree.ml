@@ -226,6 +226,7 @@ module Make (K : KEY) = struct
     go t.root
 
   let scm_bytes _ = 0
+  let htm_stats _ = [] (* no speculative path: plain transient tree *)
 
   (** Full rebuild from a sorted stream: the paper's recovery baseline
       (a transient tree must reinsert everything after a restart). *)

@@ -497,6 +497,7 @@ module Make (K : Fptree.Keys.KEY) = struct
 
   let scm_bytes t = Pmem.Palloc.live_bytes (alloc t)
   let dram_bytes _ = 0 (* resides fully in SCM *)
+  let htm_stats _ = [] (* single-threaded: no speculative path *)
   let stats_probes t = t.key_probes
   let reset_probes t = t.key_probes <- 0
 

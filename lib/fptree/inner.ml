@@ -6,15 +6,38 @@
     (the discriminator recovery extracts from each leaf), so search
     descends into the first child whose key is >= the probe.
 
+    {b Conflict granularity.}  Every node — inner node and leaf
+    reference alike — embeds its own {!Htm.Node_versions.cell} version
+    word.  Optimistic readers use the [_rs] traversals, which
+    {e observe} each node's version before touching its fields
+    (recording it into the caller's read set); structural writers
+    ([update_parents], [remove_leaf]) bracket the mutation of each
+    node they touch with [begin_write]/[end_write] on that node's cell
+    only.  A reader is invalidated exactly when a writer modified a
+    node it read — the cache-line-granular conflict detection of real
+    TSX, instead of the tree-global version word the seed used.  The
+    cell lives in the node record itself, so the reader's version
+    probe touches memory the descent is already reading (no shared
+    side table to miss on, and no cross-node collisions).
+
+    A split keeps the {e child's} write phase open until the parent
+    holds the new separator: between those two steps the key range is
+    split across [n]/[right'] but only reachable through the old
+    routing, and a reader that slipped through would otherwise validate
+    successfully against a half-committed shape.
+
     The structure is parametric in the key type; all functions take the
     comparison explicitly. *)
+
+module Nv = Htm.Node_versions
 
 type leaf_ref = {
   off : int;                 (** leaf payload offset inside the tree's region *)
   lock : bool Atomic.t;      (** volatile leaf lock (never persisted) *)
+  ver : Nv.cell;             (** the leaf's version word (content + liveness) *)
 }
 
-let leaf_ref off = { off; lock = Atomic.make false }
+let leaf_ref off = { off; lock = Atomic.make false; ver = Nv.fresh () }
 
 type 'k node = Inner of 'k inner | Leaf of leaf_ref
 
@@ -22,6 +45,7 @@ and 'k inner = {
   mutable nkeys : int;
   keys : 'k array;           (* capacity fanout - 1; slots >= nkeys are junk *)
   children : 'k node array;  (* capacity fanout; nkeys + 1 children in use *)
+  ver : Nv.cell;             (* this node's version word *)
 }
 
 type 'k t = {
@@ -35,6 +59,7 @@ let make_inner t =
     nkeys = 0;
     keys = Array.make (t.fanout - 1) t.dummy_key;
     children = Array.make t.fanout (Leaf (leaf_ref (-1)));
+    ver = Nv.fresh ();
   }
 
 let create ~fanout ~dummy_key first_leaf =
@@ -65,6 +90,18 @@ let rec find_leaf cmp node key =
   | Leaf l -> l
   | Inner n -> find_leaf cmp n.children.(child_index cmp n key) key
 
+(** {!find_leaf} for optimistic readers: observes each inner node's
+    version into [rs] {e before} reading its fields, so commit-time
+    validation fails iff a writer modified a node on this path.
+    Allocation-free.
+    @raise Nv.Conflict when a writer is inside a node on the path. *)
+let rec find_leaf_rs rs cmp node key =
+  match node with
+  | Leaf l -> l
+  | Inner n ->
+    Nv.observe rs n.ver;
+    find_leaf_rs rs cmp n.children.(child_index cmp n key) key
+
 let rec rightmost_leaf = function
   | Leaf l -> l
   | Inner n -> rightmost_leaf n.children.(n.nkeys)
@@ -73,6 +110,12 @@ let rec leftmost_leaf = function
   | Leaf l -> l
   | Inner n -> leftmost_leaf n.children.(0)
 
+let rec rightmost_leaf_rs rs = function
+  | Leaf l -> l
+  | Inner n ->
+    Nv.observe rs n.ver;
+    rightmost_leaf_rs rs n.children.(n.nkeys)
+
 (** Descend to the leaf for [key] and also return the leaf immediately
     to its left in key order, if any (FindLeafAndPrevLeaf). *)
 let find_leaf_and_prev cmp root key =
@@ -80,6 +123,19 @@ let find_leaf_and_prev cmp root key =
     match node with
     | Leaf l -> (l, Option.map rightmost_leaf left)
     | Inner n ->
+      let i = child_index cmp n key in
+      let left = if i > 0 then Some n.children.(i - 1) else left in
+      go n.children.(i) left
+  in
+  go root None
+
+(** {!find_leaf_and_prev} with read-set recording (both descents). *)
+let find_leaf_and_prev_rs rs cmp root key =
+  let rec go node left =
+    match node with
+    | Leaf l -> (l, Option.map (rightmost_leaf_rs rs) left)
+    | Inner n ->
+      Nv.observe rs n.ver;
       let i = child_index cmp n key in
       let left = if i > 0 then Some n.children.(i - 1) else left in
       go n.children.(i) left
@@ -120,36 +176,55 @@ let split_inner t n =
 
 (** After a leaf split: register [right] (greatest-key discriminator
     [sep]) next to the leaf currently responsible for [sep]
-    (UpdateParents).  Splits inner nodes on the way up as needed. *)
+    (UpdateParents).  Splits inner nodes on the way up as needed.  Run
+    under the writer lock; each modified node's version is bumped, and
+    a node that splits stays in its write phase until its parent holds
+    the new separator (see the module header). *)
 let update_parents t cmp ~sep ~right =
   let right_node = Leaf right in
   let rec go node =
-    (* Returns Some (sep', right') if [node] split. *)
+    (* Returns Some (n, sep', right') if [node = Inner n] split; [n]'s
+       write phase is then still open and the caller closes it once the
+       parent references [right']. *)
     match node with
     | Leaf _ -> assert false
     | Inner n -> (
       let i = child_index cmp n sep in
       match n.children.(i) with
       | Leaf _ ->
+        Nv.begin_write n.ver;
         insert_at n i sep right_node;
-        if n.nkeys = t.fanout - 1 then Some (split_inner t n) else None
+        if n.nkeys = t.fanout - 1 then Some (n, split_inner t n)
+        else begin
+          Nv.end_write n.ver;
+          None
+        end
       | Inner _ as child -> (
         match go child with
         | None -> None
-        | Some (sep', right') ->
+        | Some (c, (sep', right')) ->
+          Nv.begin_write n.ver;
           insert_at n i sep' (Inner right');
-          if n.nkeys = t.fanout - 1 then Some (split_inner t n) else None))
+          (* [right'] is reachable through [n] now: close the split
+             child's phase. *)
+          Nv.end_write c.ver;
+          if n.nkeys = t.fanout - 1 then Some (n, split_inner t n)
+          else begin
+            Nv.end_write n.ver;
+            None
+          end))
   in
   match go t.root with
   | None -> ()
-  | Some (sep', right') ->
+  | Some (c, (sep', right')) ->
     let old_root = t.root in
     let root = make_inner t in
     root.nkeys <- 1;
     root.keys.(0) <- sep';
     root.children.(0) <- old_root;
     root.children.(1) <- Inner right';
-    t.root <- Inner root
+    t.root <- Inner root;
+    Nv.end_write c.ver
 
 let remove_at n pos =
   (* Remove children.(pos) and the separator adjacent to it. *)
@@ -163,7 +238,10 @@ let remove_at n pos =
 (** Unlink the leaf responsible for [key] from the inner structure
     (the leaf became empty and is being deleted).  Empty inner nodes
     are removed on the way up; no underflow rebalancing is attempted,
-    matching the paper's physical-operation granularity. *)
+    matching the paper's physical-operation granularity.  Run under
+    the writer lock; the single modified ancestor's version is
+    bumped — every root→leaf path to the dying subtree passes through
+    it, so any reader still holding a reference is invalidated. *)
 let remove_leaf t cmp key =
   let rec go node =
     (* Returns true if [node] ended up with zero children. *)
@@ -176,14 +254,18 @@ let remove_leaf t cmp key =
         if n.nkeys = 0 then (* single-child node: removing empties it *)
           true
         else begin
+          Nv.begin_write n.ver;
           remove_at n i;
+          Nv.end_write n.ver;
           false
         end
       | Inner _ as child ->
         if go child then
           if n.nkeys = 0 then true
           else begin
+            Nv.begin_write n.ver;
             remove_at n i;
+            Nv.end_write n.ver;
             false
           end
         else false)
@@ -191,10 +273,15 @@ let remove_leaf t cmp key =
   if go t.root then begin
     (* The whole tree emptied; keep an empty root. *)
     match t.root with
-    | Inner n -> n.nkeys <- 0
+    | Inner n ->
+      Nv.begin_write n.ver;
+      n.nkeys <- 0;
+      Nv.end_write n.ver
     | Leaf _ -> assert false
   end;
-  (* Collapse a root holding a single inner child. *)
+  (* Collapse a root holding a single inner child.  A pointer swap:
+     both the old and the new root give consistent views, so no version
+     bump is needed. *)
   match t.root with
   | Inner n when n.nkeys = 0 -> (
     match n.children.(0) with Inner _ as c -> t.root <- c | Leaf _ -> ())
@@ -203,7 +290,8 @@ let remove_leaf t cmp key =
 (* ---- bulk rebuild (recovery, Algorithm 9 / RebuildInnerNodes) ---- *)
 
 (** Rebuild the inner structure from the leaves in key order, given
-    each leaf's greatest key.  Nodes are packed to ~[fill] of fanout. *)
+    each leaf's greatest key.  Nodes are packed to ~[fill] of fanout.
+    Single-threaded (recovery): fresh version cells, no bumps. *)
 let rebuild ~fanout ~dummy_key ?(fill = 0.85) (leaves : ('k * leaf_ref) array) =
   let t = { fanout; dummy_key; root = Leaf (leaf_ref (-1)) } in
   let n_leaves = Array.length leaves in

@@ -2,11 +2,20 @@
     classical sorted main-memory B+-Tree nodes living in DRAM, rebuilt
     from the persistent leaf linked list on recovery.  [keys.(i)] is
     the greatest key reachable through [children.(i)].  Parametric in
-    the key type; comparisons are passed explicitly. *)
+    the key type; comparisons are passed explicitly.
+
+    Each node (inner node and leaf reference) embeds its own
+    {!Htm.Node_versions.cell} version word: optimistic readers use the
+    [_rs] traversals to record the versions of the nodes they touch,
+    and structural writers bump only the nodes they modify — per-node
+    conflict detection modeling TSX read-set granularity, with the
+    version word co-located with the node it protects. *)
 
 type leaf_ref = {
   off : int;             (** leaf payload offset inside the tree's region *)
   lock : bool Atomic.t;  (** volatile leaf lock (never persisted) *)
+  ver : Htm.Node_versions.cell;
+      (** the leaf's version word (content + liveness) *)
 }
 
 val leaf_ref : int -> leaf_ref
@@ -17,6 +26,7 @@ and 'k inner = {
   mutable nkeys : int;
   keys : 'k array;
   children : 'k node array;
+  ver : Htm.Node_versions.cell;  (** this node's version word *)
 }
 
 type 'k t = {
@@ -35,21 +45,38 @@ val child_index : ('k -> 'k -> int) -> 'k inner -> 'k -> int
 (** Descend to the leaf responsible for [key]. *)
 val find_leaf : ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref
 
+(** {!find_leaf} for optimistic readers: observes each traversed inner
+    node's version into the read set before reading its fields.
+    Allocation-free.
+    @raise Htm.Node_versions.Conflict if a writer is inside a node. *)
+val find_leaf_rs :
+  Htm.Node_versions.readset -> ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref
+
 val rightmost_leaf : 'k node -> leaf_ref
 val leftmost_leaf : 'k node -> leaf_ref
+
+val rightmost_leaf_rs : Htm.Node_versions.readset -> 'k node -> leaf_ref
 
 (** The leaf for [key] plus the leaf immediately to its left in key
     order, if any (FindLeafAndPrevLeaf). *)
 val find_leaf_and_prev :
   ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref * leaf_ref option
 
+(** {!find_leaf_and_prev} with read-set recording on both descents. *)
+val find_leaf_and_prev_rs :
+  Htm.Node_versions.readset ->
+  ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref * leaf_ref option
+
 (** Register the new right half of a leaf split next to the leaf
     currently responsible for [sep] (UpdateParents); splits inner
-    nodes and grows the root as needed.  Run under the writer lock. *)
+    nodes and grows the root as needed.  Run under the writer lock;
+    bumps the version of each modified node, keeping a split child's
+    write phase open until its parent holds the new separator. *)
 val update_parents : 'k t -> ('k -> 'k -> int) -> sep:'k -> right:leaf_ref -> unit
 
 (** Unlink the (emptied) leaf responsible for [key]; empty inner nodes
-    are removed on the way up, a single-inner-child root collapses. *)
+    are removed on the way up, a single-inner-child root collapses.
+    Run under the writer lock; bumps each modified ancestor. *)
 val remove_leaf : 'k t -> ('k -> 'k -> int) -> 'k -> unit
 
 (** Bulk rebuild from the leaves in key order (recovery, Algorithm 9),

@@ -16,6 +16,7 @@
     single thread. *)
 
 module Spec = Htm.Speculative_lock
+module Nv = Htm.Node_versions
 module Region = Scm.Region
 module Pptr = Pmem.Pptr
 
@@ -374,6 +375,30 @@ module Make (K : Keys.KEY) = struct
     Atomic.set l.Inner.lock false
 
   let is_locked (l : Inner.leaf_ref) = Atomic.get l.Inner.lock
+
+  (* ---- per-node version phases (precise conflict detection) ---- *)
+
+  (* A leaf's version word lives in its [Inner.leaf_ref] ([ver]),
+     right next to the lock the writer already holds.  A write phase on
+     it is the precise analogue of "this leaf's cache lines are in a
+     TSX writer's write set": concurrent optimistic readers that
+     observed the word abort, later ones abort on the busy count.  The
+     phases are count-encoded, so nesting (insert-into-nonfull inside
+     a split bracket) is safe.
+
+     The trace events sit inside the version phase — emitted after
+     [begin_write] and before [end_write] — so in the recorded history
+     every store to the leaf falls strictly between them and the
+     analyzer's unversioned-leaf-store check is exact. *)
+  let ver_begin t (l : Inner.leaf_ref) =
+    Nv.begin_write l.Inner.ver;
+    if Scm.Pmtrace.enabled () then
+      Scm.Pmtrace.ver_begin ~region:(Region.id (region t)) ~leaf:l.Inner.off
+
+  let ver_end t (l : Inner.leaf_ref) =
+    if Scm.Pmtrace.enabled () then
+      Scm.Pmtrace.ver_end ~region:(Region.id (region t)) ~leaf:l.Inner.off;
+    Nv.end_write l.Inner.ver
 
   (* ---- leaf groups (Section 4.3 and Appendix B) ---- *)
 
@@ -780,56 +805,53 @@ module Make (K : Keys.KEY) = struct
   (* ---- speculative-section helpers ---- *)
 
   (* Acquire the leaf responsible for [k] with its lock held, via a
-     speculative transaction (steps 1–2 of Figure 6).  Driven through
-     the raw seqlock primitives rather than [Spec.with_txn]: the
-     closure and outcome constructors the latter allocates per call
-     put minor-GC pressure on every writer operation.  The protocol is
-     the same: a successful [try_lock] that fails validation is rolled
-     back ([unlock]) and retried; a failed [try_lock] is an explicit
-     abort; after the retry threshold the real mutex is taken, with
-     explicit aborts releasing and reacquiring it (Algorithm 1). *)
+     speculative transaction (steps 1–2 of Figure 6), allocation-free.
+     The read set is per-node ({!Nv}): the traversal observes the
+     version of every inner node it routes through, and a successful
+     [try_lock] is kept only if none of them moved — i.e. only a
+     writer that modified a node {e on this key's path} forces a
+     retry, not any writer anywhere (TSX read-set granularity).  A
+     failed [try_lock] is an explicit abort; after the retry threshold
+     the real mutex is taken, with explicit aborts releasing and
+     reacquiring it (Algorithm 1).
+
+     Path validation alone pins the leaf's identity: once [try_lock]
+     succeeds no writer is inside the leaf, and any split or removal
+     of it before that bumped an observed ancestor. *)
   let rec lock_attempt t k attempt =
     if attempt >= Spec.retry_threshold t.spec then lock_leaf_fallback t k
     else
-      let v0 = Spec.read_begin t.spec in
-      if v0 < 0 then begin
-        (* Elided lock busy at entry: explicit abort. *)
-        Spec.note_explicit_abort t.spec;
-        Spec.note_abort t.spec;
-        Spec.backoff t.spec attempt;
-        lock_attempt t k (attempt + 1)
-      end
-      else
-        match Inner.find_leaf K.compare t.inner.Inner.root k with
-        | exception e ->
-          (* Trust the exception only if no writer raced us. *)
-          if Spec.read_validate t.spec v0 then raise e
+      let inner = t.inner in
+      let rs = Nv.scratch () in
+      match Inner.find_leaf_rs rs K.compare inner.Inner.root k with
+      | exception Nv.Conflict -> lock_retry_conflict t k attempt
+      | exception e ->
+        (* Trust the exception only if no writer raced us. *)
+        if Nv.validate rs then raise e
+        else lock_retry_conflict t k attempt
+      | leaf ->
+        if try_lock t leaf then
+          if Nv.validate rs then leaf
           else begin
-            Spec.note_conflict t.spec;
-            Spec.note_abort t.spec;
-            Spec.backoff t.spec attempt;
-            lock_attempt t k (attempt + 1)
+            unlock t leaf;
+            lock_retry_conflict t k attempt
           end
-        | leaf ->
-          if try_lock t leaf then
-            if Spec.read_validate t.spec v0 then leaf
-            else begin
-              unlock t leaf;
-              Spec.note_conflict t.spec;
-              Spec.note_abort t.spec;
-              Spec.backoff t.spec attempt;
-              lock_attempt t k (attempt + 1)
-            end
-          else begin
-            (* Leaf lock held: conflict if a writer raced us, else the
-               explicit-XABORT bucket (same taxonomy as [with_txn]). *)
-            if not (Spec.read_validate t.spec v0) then
-              Spec.note_conflict t.spec
-            else Spec.note_explicit_abort t.spec;
-            Spec.note_abort t.spec;
-            Spec.backoff t.spec attempt;
-            lock_attempt t k (attempt + 1)
-          end
+        else begin
+          (* Leaf lock held: precise conflict if a writer invalidated
+             our path, else the explicit-XABORT bucket (same taxonomy
+             as [with_txn]). *)
+          if not (Nv.validate rs) then Spec.note_precise_conflict t.spec
+          else Spec.note_explicit_abort t.spec;
+          Spec.note_abort t.spec;
+          Spec.backoff t.spec attempt;
+          lock_attempt t k (attempt + 1)
+        end
+
+  and lock_retry_conflict t k attempt =
+    Spec.note_precise_conflict t.spec;
+    Spec.note_abort t.spec;
+    Spec.backoff t.spec attempt;
+    lock_attempt t k (attempt + 1)
 
   and lock_leaf_fallback t k =
     Spec.lock_fallback t.spec;
@@ -852,77 +874,70 @@ module Make (K : Keys.KEY) = struct
 
   (* ---- base operations ---- *)
 
-  (* Allocation-free find core: the same speculative protocol as
-     [Spec.with_txn], driven through the raw seqlock primitives so that
-     no closure, option, or outcome constructor is allocated.  Raises
-     [Not_found] (a constant constructor — allocation-free) on a miss.
-     Mirrors with_txn's semantics: a leaf locked or a moved version is
-     an abort; an exception during speculation is trusted only if the
-     version still validates. *)
+  (* Allocation-free find core, on the per-node protocol: the
+     traversal records each inner node's version into the calling
+     domain's preallocated read set ({!Nv.scratch}), the leaf's own
+     version word is observed before the probe, and the whole set is
+     validated after the value is read.  A busy word ([Nv.Conflict]) or
+     a failed validation is a precise conflict — some writer touched a
+     node this find actually read; writers elsewhere in the tree are
+     invisible, which is what lets concurrent domains scale.  No
+     closure, option, or outcome constructor is allocated; raises
+     [Not_found] (constant constructor) on a miss.  An exception during
+     speculation is trusted only if the read set still validates. *)
   let rec find_attempt t k h attempt =
     if attempt >= Spec.retry_threshold t.spec then find_fallback t k h
     else
-      let v0 = Spec.read_begin t.spec in
-      if v0 < 0 then begin
-        (* A writer is inside: the elided lock is busy — explicit. *)
-        Spec.note_explicit_abort t.spec;
-        Spec.note_abort t.spec;
-        Spec.backoff t.spec attempt;
-        find_attempt t k h (attempt + 1)
-      end
-      else
-        let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
-        if is_locked leaf then begin
-          if not (Spec.read_validate t.spec v0) then Spec.note_conflict t.spec
-          else Spec.note_explicit_abort t.spec;
-          Spec.note_abort t.spec;
-          Spec.backoff t.spec attempt;
-          find_attempt t k h (attempt + 1)
-        end
-        else begin
+      let inner = t.inner in
+      let rs = Nv.scratch () in
+      match Inner.find_leaf_rs rs K.compare inner.Inner.root k with
+      | exception Nv.Conflict -> find_retry_conflict t k h attempt
+      | exception e ->
+        if Nv.validate rs then raise e
+        else find_retry_conflict t k h attempt
+      | leaf -> (
+        (* The leaf's version word stands in for its content lines: a
+           writer opens a phase before its first store, so a quiescent
+           observation here plus validation after the probe brackets
+           the reads exactly like TSX read-set tracking would. *)
+        match Nv.observe rs leaf.Inner.ver with
+        | exception Nv.Conflict -> find_retry_conflict t k h attempt
+        | () -> (
           match find_slot t leaf.Inner.off k h with
+          | exception Nv.Conflict -> find_retry_conflict t k h attempt
           | exception e ->
-            if Spec.read_validate t.spec v0 then raise e
-            else begin
-              Spec.note_conflict t.spec;
-              Spec.note_abort t.spec;
-              Spec.backoff t.spec attempt;
-              find_attempt t k h (attempt + 1)
-            end
+            if Nv.validate rs then raise e
+            else find_retry_conflict t k h attempt
           | s ->
             let v = if s >= 0 then read_value t leaf.Inner.off s else 0 in
-            (* The leaf was quiescent for the whole probe only if no
-               writer committed and its lock is still free (a writer
-               flips it before touching content). *)
-            if not (Spec.read_validate t.spec v0) then begin
-              Spec.note_conflict t.spec;
-              Spec.note_abort t.spec;
-              Spec.backoff t.spec attempt;
-              find_attempt t k h (attempt + 1)
-            end
-            else if is_locked leaf then begin
-              Spec.note_explicit_abort t.spec;
-              Spec.note_abort t.spec;
-              Spec.backoff t.spec attempt;
-              find_attempt t k h (attempt + 1)
-            end
-            else begin
+            if Nv.validate rs then begin
               if stats_on () then
                 Obs.Histogram.record Metrics.find_retries attempt;
               if s >= 0 then v else raise Not_found
             end
-        end
+            else find_retry_conflict t k h attempt))
+
+  and find_retry_conflict t k h attempt =
+    Spec.note_precise_conflict t.spec;
+    Spec.note_abort t.spec;
+    Spec.backoff t.spec attempt;
+    find_attempt t k h (attempt + 1)
 
   and find_fallback t k h =
     Spec.lock_fallback t.spec;
     find_fallback_locked t k h
 
   and find_fallback_locked t k h =
-    (* Under the real mutex; leaf locks can still be taken concurrently
-       by optimistic writer transactions, so an explicit abort releases
-       the mutex and reacquires it, as in the paper's Algorithm 1. *)
+    (* Under the real mutex: structural writers serialize on the same
+       mutex ([Spec.with_write]), but optimistic leaf writers do not —
+       they only hold the leaf lock and its version phase.  So the
+       probe spins on the leaf's version word, releasing the mutex
+       between retries as in the paper's Algorithm 1 (a leaf writer
+       waiting on the mutex for its structure update can then make
+       progress — no deadlock). *)
     let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
-    if is_locked leaf then begin
+    let v0 = Nv.read leaf.Inner.ver in
+    if Nv.is_busy v0 then begin
       Spec.unlock_fallback t.spec;
       Spec.relax ();
       Spec.relock_fallback t.spec;
@@ -931,11 +946,19 @@ module Make (K : Keys.KEY) = struct
     else begin
       match find_slot t leaf.Inner.off k h with
       | exception e ->
-        Spec.unlock_fallback t.spec;
-        raise e
+        if Nv.read leaf.Inner.ver = v0 then begin
+          Spec.unlock_fallback t.spec;
+          raise e
+        end
+        else begin
+          Spec.unlock_fallback t.spec;
+          Spec.relax ();
+          Spec.relock_fallback t.spec;
+          find_fallback_locked t k h
+        end
       | s ->
         let v = if s >= 0 then read_value t leaf.Inner.off s else 0 in
-        if is_locked leaf then begin
+        if Nv.read leaf.Inner.ver <> v0 then begin
           Spec.unlock_fallback t.spec;
           Spec.relax ();
           Spec.relock_fallback t.spec;
@@ -967,13 +990,19 @@ module Make (K : Keys.KEY) = struct
     | v -> Some v
     | exception Not_found -> None
 
-  let insert_into_nonfull t leaf k v h =
+  let insert_into_nonfull t (l : Inner.leaf_ref) k v h =
+    let leaf = l.Inner.off in
     let bm = leaf_bitmap t leaf in
     let slot = Layout.first_zero t.layout bm in
     assert (slot >= 0);
+    (* Version phase for the content mutation: optimistic readers of
+       this leaf abort instead of probing half-written entries.  Nests
+       harmlessly inside a split's outer bracket on the same leaf. *)
+    ver_begin t l;
     write_entry t leaf slot k v h;
     Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot));
-    refresh_csum t leaf
+    refresh_csum t leaf;
+    ver_end t l
 
   (* pmcheck scope: attribute trace events to the operation and bound
      the analyzer's dirty-at-publication check.  The closure is built
@@ -999,16 +1028,24 @@ module Make (K : Keys.KEY) = struct
     end
     else begin
       if leaf_is_full t leaf.Inner.off then begin
+        (* The split leaf's version phase spans the whole split: from
+           before its first mutation until the parents reference the
+           new right sibling.  In the window after [cur]'s bitmap
+           shrinks but before [update_parents], keys above [sep] live
+           only in the (unreachable) right leaf — a reader of [cur]
+           must not validate there. *)
+        ver_begin t leaf;
         let sep, right = split_leaf t leaf in
         let target = if K.compare k sep <= 0 then leaf else right in
-        insert_into_nonfull t target.Inner.off k v h;
+        insert_into_nonfull t target k v h;
         Spec.with_write t.spec (fun () ->
             Inner.update_parents t.inner K.compare ~sep ~right);
+        ver_end t leaf;
         unlock t leaf;
         true
       end
       else begin
-        insert_into_nonfull t leaf.Inner.off k v h;
+        insert_into_nonfull t leaf k v h;
         unlock t leaf;
         true
       end
@@ -1029,7 +1066,10 @@ module Make (K : Keys.KEY) = struct
     end
     else begin
       (* Insert-after-delete published by a single p-atomic bitmap
-         write (Algorithm 8 / 16). *)
+         write (Algorithm 8 / 16).  One version phase on the locked
+         leaf covers the whole mutation — including, on a split, the
+         window until the parents reference the right sibling. *)
+      ver_begin t leaf;
       let target, prev_slot, did_split, sep_right =
         if leaf_is_full t leaf.Inner.off then begin
           let sep, right = split_leaf t leaf in
@@ -1072,6 +1112,7 @@ module Make (K : Keys.KEY) = struct
         Spec.with_write t.spec (fun () ->
             Inner.update_parents t.inner K.compare ~sep ~right)
       | _ -> ());
+      ver_end t leaf;
       unlock t leaf;
       true
     end
@@ -1084,44 +1125,121 @@ module Make (K : Keys.KEY) = struct
     | Del_in_leaf of Inner.leaf_ref
     | Del_whole_leaf of Inner.leaf_ref * Inner.leaf_ref option
 
+  (* Decide what a delete must do, with the necessary locks held
+     (the speculative section of Algorithm 5): the leaf — and, for a
+     whole-leaf delete, its predecessor — locked, on a validated path.
+     Raw per-node protocol, same shape as [lock_attempt].  The second
+     validation after locking the predecessor catches a concurrent
+     split or removal of it: the predecessor's last routing node is in
+     the read set via the prev-leaf descent, and both mutations bump
+     it, so a stale predecessor cannot be committed into the decision
+     (its next pointer is about to be overwritten). *)
+  let rec delete_decide t k h attempt =
+    if attempt >= Spec.retry_threshold t.spec then delete_decide_fallback t k h
+    else
+      let inner = t.inner in
+      let rs = Nv.scratch () in
+      match Inner.find_leaf_and_prev_rs rs K.compare inner.Inner.root k with
+      | exception Nv.Conflict -> delete_retry t k h attempt
+      | exception e ->
+        if Nv.validate rs then raise e else delete_retry t k h attempt
+      | leaf, prev ->
+        if not (try_lock t leaf) then begin
+          if not (Nv.validate rs) then Spec.note_precise_conflict t.spec
+          else Spec.note_explicit_abort t.spec;
+          Spec.note_abort t.spec;
+          Spec.backoff t.spec attempt;
+          delete_decide t k h (attempt + 1)
+        end
+        else if not (Nv.validate rs) then begin
+          unlock t leaf;
+          delete_retry t k h attempt
+        end
+        else begin
+          (* Content is stable now that the lock is held. *)
+          let bm = leaf_bitmap t leaf.Inner.off in
+          let single =
+            Layout.bitmap_count bm = 1
+            && find_slot t leaf.Inner.off k h >= 0
+          in
+          let sole =
+            prev = None && Pptr.is_null (leaf_next t leaf.Inner.off)
+          in
+          if single && not sole then
+            match prev with
+            | None -> Del_whole_leaf (leaf, None)
+            | Some p ->
+              if not (try_lock t p) then begin
+                unlock t leaf;
+                Spec.note_explicit_abort t.spec;
+                Spec.note_abort t.spec;
+                Spec.backoff t.spec attempt;
+                delete_decide t k h (attempt + 1)
+              end
+              else if Nv.validate rs then Del_whole_leaf (leaf, Some p)
+              else begin
+                unlock t p;
+                unlock t leaf;
+                delete_retry t k h attempt
+              end
+          else Del_in_leaf leaf
+        end
+
+  and delete_retry t k h attempt =
+    Spec.note_precise_conflict t.spec;
+    Spec.note_abort t.spec;
+    Spec.backoff t.spec attempt;
+    delete_decide t k h (attempt + 1)
+
+  and delete_decide_fallback t k h =
+    Spec.lock_fallback t.spec;
+    delete_decide_locked t k h
+
+  and delete_decide_locked t k h =
+    (* Under the real mutex structural updates are excluded, so the
+       path and the predecessor are stable; leaf locks are still taken
+       by optimistic writers, so a lock failure releases the mutex and
+       retries (Algorithm 1). *)
+    let leaf, prev = Inner.find_leaf_and_prev K.compare t.inner.Inner.root k in
+    if not (try_lock t leaf) then begin
+      Spec.unlock_fallback t.spec;
+      Spec.relax ();
+      Spec.relock_fallback t.spec;
+      delete_decide_locked t k h
+    end
+    else begin
+      let bm = leaf_bitmap t leaf.Inner.off in
+      let single =
+        Layout.bitmap_count bm = 1 && find_slot t leaf.Inner.off k h >= 0
+      in
+      let sole = prev = None && Pptr.is_null (leaf_next t leaf.Inner.off) in
+      if single && not sole then
+        match prev with
+        | None ->
+          Spec.unlock_fallback t.spec;
+          Del_whole_leaf (leaf, None)
+        | Some p ->
+          if try_lock t p then begin
+            Spec.unlock_fallback t.spec;
+            Del_whole_leaf (leaf, Some p)
+          end
+          else begin
+            unlock t leaf;
+            Spec.unlock_fallback t.spec;
+            Spec.relax ();
+            Spec.relock_fallback t.spec;
+            delete_decide_locked t k h
+          end
+      else begin
+        Spec.unlock_fallback t.spec;
+        Del_in_leaf leaf
+      end
+    end
+
   let delete_op t k =
     if stats_on () then t.stats.deletes <- t.stats.deletes + 1;
     let h = K.fingerprint k in
-    let rollback = function
-      | Del_in_leaf l -> unlock t l
-      | Del_whole_leaf (l, p) ->
-        unlock t l;
-        Option.iter (unlock t) p
-    in
-    let decision =
-      Spec.with_txn t.spec ~on_rollback:rollback (fun () ->
-          let leaf, prev =
-            Inner.find_leaf_and_prev K.compare t.inner.Inner.root k
-          in
-          if not (try_lock t leaf) then Spec.Abort
-          else begin
-            (* Content is stable now that the lock is held. *)
-            let bm = leaf_bitmap t leaf.Inner.off in
-            let single =
-              Layout.bitmap_count bm = 1
-              && find_slot t leaf.Inner.off k h >= 0
-            in
-            let sole =
-              prev = None && Pptr.is_null (leaf_next t leaf.Inner.off)
-            in
-            if single && not sole then
-              match prev with
-              | None -> Spec.Commit (Del_whole_leaf (leaf, None))
-              | Some p ->
-                if try_lock t p then Spec.Commit (Del_whole_leaf (leaf, Some p))
-                else begin
-                  unlock t leaf;
-                  Spec.Abort
-                end
-            else Spec.Commit (Del_in_leaf leaf)
-          end)
-    in
-    match decision with
+    match delete_decide t k h 0 with
     | Del_in_leaf leaf ->
       let slot = find_slot t leaf.Inner.off k h in
       if slot < 0 then begin
@@ -1130,14 +1248,22 @@ module Make (K : Keys.KEY) = struct
       end
       else begin
         let bm = leaf_bitmap t leaf.Inner.off in
+        ver_begin t leaf;
         Layout.commit_bitmap (region t) ~leaf:leaf.Inner.off t.layout
           (bm land lnot (1 lsl slot));
         refresh_csum t leaf.Inner.off;
         K.dealloc t.ctx ~off:(key_cell t leaf.Inner.off slot);
+        ver_end t leaf;
         unlock t leaf;
         true
       end
     | Del_whole_leaf (leaf, prev) ->
+      (* The dying leaf's version phase spans the var-key clearing, the
+         inner-structure unlink, and the chain unlink; the
+         predecessor's phase covers its next-pointer overwrite (range
+         scans walk the chain optimistically). *)
+      ver_begin t leaf;
+      (match prev with Some p -> ver_begin t p | None -> ());
       (* Var keys: clear the entry and free its key block first
          (Algorithm 15, lines 16–18). *)
       (if not K.inline then begin
@@ -1151,6 +1277,8 @@ module Make (K : Keys.KEY) = struct
        end);
       Spec.with_write t.spec (fun () -> Inner.remove_leaf t.inner K.compare k);
       delete_leaf t leaf prev;
+      (match prev with Some p -> ver_end t p | None -> ());
+      ver_end t leaf;
       Option.iter (unlock t) prev;
       true
 
@@ -1164,13 +1292,34 @@ module Make (K : Keys.KEY) = struct
       appending them to a growable buffer yields a sorted result with
       no global cons-then-sort pass — O(hits) buffer space and one
       final list build instead of O(n log n) list churn. *)
+  (* Start-leaf descent for a range scan, on the per-node protocol
+     (the walk itself reads dirty, as before). *)
+  let rec range_start t lo attempt =
+    if attempt >= Spec.retry_threshold t.spec then begin
+      Spec.lock_fallback t.spec;
+      let leaf = Inner.find_leaf K.compare t.inner.Inner.root lo in
+      Spec.unlock_fallback t.spec;
+      leaf
+    end
+    else
+      let inner = t.inner in
+      let rs = Nv.scratch () in
+      match Inner.find_leaf_rs rs K.compare inner.Inner.root lo with
+      | exception Nv.Conflict -> range_start_retry t lo attempt
+      | leaf ->
+        if Nv.validate rs then leaf
+        else range_start_retry t lo attempt
+
+  and range_start_retry t lo attempt =
+    Spec.note_precise_conflict t.spec;
+    Spec.note_abort t.spec;
+    Spec.backoff t.spec attempt;
+    range_start t lo (attempt + 1)
+
   let range t ~lo ~hi =
     if K.compare lo hi > 0 then []
     else begin
-      let start =
-        Spec.with_txn t.spec (fun () ->
-            Spec.Commit (Inner.find_leaf K.compare t.inner.Inner.root lo))
-      in
+      let start = range_start t lo 0 in
       let m = t.layout.Layout.m in
       let cap = ref 64 in
       let ks = ref (Array.make !cap K.dummy) in
@@ -1271,6 +1420,19 @@ module Make (K : Keys.KEY) = struct
 
   let stats t = t.stats
   let spec_stats t = Spec.stats t.spec
+
+  (** Abort-reason breakdown as an assoc list ({!Tree_intf.S}):
+      [precise_conflicts] counts per-node read-set invalidations, the
+      [conflicts] bucket is the legacy tree-global protocol (only
+      baselines driving [with_txn] feed it). *)
+  let htm_stats t =
+    let s = Spec.stats t.spec in
+    [ ("aborts", s.Spec.aborts);
+      ("conflicts", s.Spec.conflicts);
+      ("precise_conflicts", s.Spec.precise_conflicts);
+      ("explicit_aborts", s.Spec.explicit_aborts);
+      ("fallbacks", s.Spec.fallbacks);
+      ("backoff_waits", s.Spec.backoff_waits) ]
 
   let reset_stats t =
     let s = t.stats in

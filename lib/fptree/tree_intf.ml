@@ -24,6 +24,13 @@ module type S = sig
 
   val dram_bytes : t -> int
   val scm_bytes : t -> int
+
+  val htm_stats : t -> (string * int) list
+  (** Speculative-concurrency abort counters as [(reason, count)]
+      pairs — e.g. ["aborts"], ["precise_conflicts"] (per-node
+      read-set invalidations), ["conflicts"] (tree-global version
+      invalidations), ["fallbacks"].  Empty for trees without a
+      speculative path. *)
 end
 
 module type FIXED = S with type key = int

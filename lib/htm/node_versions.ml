@@ -1,0 +1,127 @@
+(** Per-node version words: the read-set half of the TSX emulation.
+
+    Hardware TSX detects conflicts at cache-line granularity — a reader
+    aborts only when a writer touches a line it actually read.  The
+    repository's original emulation collapsed every conflict onto one
+    tree-global version word, so any writer invalidated every
+    concurrent reader.  This module restores the hardware granularity:
+
+    - every tree node (DRAM inner node or SCM leaf) embeds a version
+      {!cell} in its own DRAM record, so observing a node's version
+      touches memory the traversal is already reading — the same
+      co-location real TSX gets for free by using the data's cache
+      lines as the read set;
+    - an optimistic reader {!observe}s the version of each node it
+      descends through, recording (cell, version) pairs into a
+      per-domain preallocated {!readset} — the emulated read set;
+    - a writer brackets its mutation of a node with
+      {!begin_write}/{!end_write} on that node's cell only;
+    - the reader {!validate}s its read set at commit: any recorded cell
+      whose version moved is a precise conflict — the emulation of a
+      TSX read-set invalidation confined to the lines the transaction
+      read.
+
+    {b Version encoding.}  The low 8 bits of a version word count the
+    writers currently inside a phase on that cell; the upper bits are a
+    sequence number bumped by every [begin_write] {e and} [end_write].
+    [observe] aborts when the count is non-zero (a writer is inside —
+    the line is locked in the coherence sense), and [validate] fails
+    when the word changed at all.  Counting instead of odd/even parity
+    lets one writer nest phases on the same cell (leaf split: the
+    leaf's phase stays open across the inner-node update so no reader
+    can observe the half-moved state as stable) and keeps overlapping
+    phases by distinct writers well-formed.
+
+    {b False positives.}  A cell is private to its node, so the only
+    false positives left are writer phases that did not actually
+    change what this reader read (e.g. an insert into a leaf slot the
+    reader's key does not hash to) — the same line-granular
+    imprecision real TSX has.
+
+    {b Layout.}  A cell is a boxed [int Atomic.t] allocated together
+    with its node record, so it shares the node's cache neighbourhood:
+    a version read after the node's key search is effectively free,
+    and a writer's bump invalidates lines that the node's mutation was
+    about to invalidate anyway. *)
+
+type cell = int Atomic.t
+
+let fresh () = Atomic.make 0
+
+exception Conflict
+
+let count_mask = 0xFF
+
+let[@inline] is_busy v = v land count_mask <> 0
+let[@inline] read (c : cell) = Atomic.get c
+
+(** Open a write phase on [c]: increments the writer count and the
+    sequence number.  Phases on the same cell may nest (same writer) or
+    overlap; the cell reads busy until every phase closed, and any
+    overlapping reader's validation fails. *)
+let[@inline] begin_write (c : cell) =
+  ignore (Atomic.fetch_and_add c ((1 lsl 8) + 1))
+
+let[@inline] end_write (c : cell) =
+  ignore (Atomic.fetch_and_add c ((1 lsl 8) - 1))
+
+(* ---- per-domain read sets ---- *)
+
+type readset = {
+  mutable rs_cells : cell array;
+  mutable rs_vers : int array;
+  mutable rs_n : int;
+}
+
+(* Shared inert filler for unused capacity; never observed. *)
+let dummy_cell : cell = Atomic.make 0
+
+(* One buffer per domain, reused by every optimistic section: the find
+   path must not allocate, and tree heights are tiny (root→leaf plus
+   the leaf itself), so 16 entries never grow in practice. *)
+let rs_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        rs_cells = Array.make 16 dummy_cell;
+        rs_vers = Array.make 16 0;
+        rs_n = 0;
+      })
+
+(** The calling domain's read-set buffer, emptied.  Allocates only on
+    the domain's first call (DLS initialization). *)
+let scratch () =
+  let rs = Domain.DLS.get rs_key in
+  rs.rs_n <- 0;
+  rs
+
+let grow rs =
+  let n = Array.length rs.rs_cells in
+  let s = Array.make (2 * n) dummy_cell and v = Array.make (2 * n) 0 in
+  Array.blit rs.rs_cells 0 s 0 n;
+  Array.blit rs.rs_vers 0 v 0 n;
+  rs.rs_cells <- s;
+  rs.rs_vers <- v
+
+let[@inline] record rs c v =
+  if rs.rs_n = Array.length rs.rs_cells then grow rs;
+  Array.unsafe_set rs.rs_cells rs.rs_n c;
+  Array.unsafe_set rs.rs_vers rs.rs_n v;
+  rs.rs_n <- rs.rs_n + 1
+
+(** Add [c] to the read set.
+    @raise Conflict if a writer is inside a phase on [c]. *)
+let[@inline] observe rs (c : cell) =
+  let v = Atomic.get c in
+  if v land count_mask <> 0 then raise Conflict;
+  record rs c v
+
+(** [true] iff no recorded cell's version moved: everything this
+    transaction read is still current, so its result is a consistent
+    snapshot.  Allocation-free. *)
+let rec validate_from rs i =
+  i >= rs.rs_n
+  || (Atomic.get (Array.unsafe_get rs.rs_cells i)
+      = Array.unsafe_get rs.rs_vers i
+     && validate_from rs (i + 1))
+
+let validate rs = validate_from rs 0

@@ -1,0 +1,47 @@
+(** Per-node version words emulating TSX cache-line-granular conflict
+    detection: each tree node embeds a version {!cell} in its DRAM
+    record; readers record (cell, version) pairs into a per-domain
+    read set and validate at commit; writers bump only the cells of
+    the nodes they modify.  See the implementation header for the
+    protocol and its false-positive classes. *)
+
+type cell = int Atomic.t
+(** A node's version word.  Allocated with the node record, so the
+    reader's version probe lands in the node's own cache
+    neighbourhood — the co-location real TSX gets by using the data
+    lines themselves as the read set. *)
+
+val fresh : unit -> cell
+(** A new version cell (count 0, sequence 0). *)
+
+exception Conflict
+(** Raised by {!observe} when the node's version word is busy (a
+    writer is inside).  Constant constructor: raising it does not
+    allocate. *)
+
+val read : cell -> int
+val is_busy : int -> bool
+
+val begin_write : cell -> unit
+(** Open a write phase on a cell: readers observing it abort, and the
+    sequence bump fails any reader that observed it earlier.  Phases
+    nest and overlap safely (the low bits count writers). *)
+
+val end_write : cell -> unit
+
+(** {1 Read sets} *)
+
+type readset
+
+val scratch : unit -> readset
+(** The calling domain's preallocated read-set buffer, emptied.  Only
+    one optimistic section per domain may be active at a time (tree
+    operations do not nest optimistic sections). *)
+
+val observe : readset -> cell -> unit
+(** Record a cell's current version into the read set.
+    @raise Conflict if the cell is busy. *)
+
+val validate : readset -> bool
+(** [true] iff no recorded cell moved since it was observed.
+    Allocation-free. *)

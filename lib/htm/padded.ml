@@ -1,0 +1,31 @@
+(** A cache-line-padded atomic integer.
+
+    OCaml boxed [Atomic.t]s are two-word heap blocks; independent
+    atomics allocated together end up on the same cache line and
+    false-share under domains.  A [Padded.t] surrounds its live cell
+    with dead neighbour blocks (allocated consecutively by the minor
+    heap's bump allocator) so the live cell sits alone on its line.
+    The dead neighbours stay reachable from the array, so compaction
+    keeps the relative layout. *)
+
+type t = int Atomic.t array
+
+(* 8 two-word blocks = 128 bytes of guard on each side: safely more
+   than one cache line regardless of where the first block lands. *)
+let live = 8
+
+(* Exported as the array stride that spaces consecutively-allocated
+   boxed atomics >= 128 bytes apart (8 blocks x 2 words x 8 bytes):
+   the same isolation distance the guard blocks above provide. *)
+let stride = live
+
+let make v =
+  let a = Array.init ((2 * live) + 1) (fun _ -> Atomic.make 0) in
+  Atomic.set (Array.unsafe_get a live) v;
+  a
+
+let[@inline] cell (t : t) = Array.unsafe_get t live
+let[@inline] get t = Atomic.get (cell t)
+let[@inline] set t v = Atomic.set (cell t) v
+let[@inline] incr t = Atomic.incr (cell t)
+let[@inline] fetch_and_add t n = Atomic.fetch_and_add (cell t) n

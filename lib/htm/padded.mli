@@ -1,0 +1,16 @@
+(** A cache-line-padded atomic integer: the live cell is surrounded by
+    dead guard blocks so hot per-lock words do not false-share a line
+    with neighbouring allocations. *)
+
+type t
+
+(** Array stride that spaces consecutively-allocated boxed atomics at
+    least 128 bytes apart (one line pair).  Shared by sharded counter
+    arrays that pad by striding rather than by guard blocks. *)
+val stride : int
+
+val make : int -> t
+val get : t -> int
+val set : t -> int -> unit
+val incr : t -> unit
+val fetch_and_add : t -> int -> int

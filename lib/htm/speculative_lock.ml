@@ -17,6 +17,15 @@
       to odd/even around their critical section so that concurrent
       optimistic readers abort.
 
+    The version word here is {e tree-global}: any writer invalidates
+    every concurrent optimistic section, which models TSX with a
+    one-line read set.  The tree's own hot paths instead drive
+    {!Node_versions} — per-node version words with per-domain read
+    sets — and only use this module for the fallback mutex, the
+    writer serialization, and the abort statistics; the closure API
+    below ([with_txn]/[with_write]) keeps the coarse one-word protocol
+    for callers that want it (NV-Tree baseline, tests).
+
     This preserves the property the FPTree design depends on: read-only
     traversals of the DRAM part run lock-free and scale, while
     persistence primitives (flushes) are kept outside the speculative
@@ -26,8 +35,12 @@
     ({!Obs.Counter}) and broken down by reason, the shape of the
     paper's Appendix B abort analysis:
 
-    - {e conflict}: the version word moved during speculation — a TSX
-      read-set invalidation;
+    - {e conflict}: the global version word moved during speculation —
+      a read-set invalidation under the coarse one-word protocol;
+    - {e precise conflict}: a per-node read set was invalidated
+      ({!Node_versions}) — the transaction aborted because a writer
+      touched a node it actually read, not merely because any writer
+      committed anywhere;
     - {e explicit}: the transaction aborted itself (elided lock busy at
       entry, or the body returned [Abort] — a leaf lock was taken),
       the analogue of an XABORT / capacity-style early exit;
@@ -44,7 +57,11 @@ let g_aborts =
 
 let g_conflicts =
   Obs.Registry.counter "htm_conflict_aborts_total"
-    ~help:"aborts from read-set invalidation (version moved)"
+    ~help:"aborts from global-version invalidation (coarse read set)"
+
+let g_precise_conflicts =
+  Obs.Registry.counter "htm_precise_conflict_aborts_total"
+    ~help:"aborts from per-node read-set invalidation (precise)"
 
 let g_explicit =
   Obs.Registry.counter "htm_explicit_aborts_total"
@@ -58,14 +75,25 @@ let g_backoff_waits =
   Obs.Registry.counter "htm_backoff_waits_total"
     ~help:"bounded-exponential backoff waits between speculative retries"
 
+(* Per-domain backoff-jitter state: [jitter_shards] slots of
+   [jitter_stride] boxed atomics so concurrently backing-off domains
+   advance their PRNG state on distinct cache lines. *)
+let jitter_shards = 64
+let jitter_stride = 8
+
 type t = {
-  version : int Atomic.t;
+  version : Padded.t;
+      (* padded: the hottest word of the lock — every optimistic
+         section loads it, so it must not share a line with the stat
+         shards or the jitter state *)
   fallback : Mutex.t;
   retry_threshold : int;
   backoff_ceiling : int;
+  jitter : int Atomic.t array;
   (* per-lock sharded statistics (exact under domains) *)
   aborts : Obs.Counter.t;
   conflicts : Obs.Counter.t;
+  precise_conflicts : Obs.Counter.t;
   explicit_aborts : Obs.Counter.t;
   fallbacks : Obs.Counter.t;
   backoff_waits : Obs.Counter.t;
@@ -75,12 +103,14 @@ let create ?(retry_threshold = 8) ?(backoff_ceiling = 1024) () =
   if backoff_ceiling < 1 then
     invalid_arg "Speculative_lock.create: backoff_ceiling must be >= 1";
   {
-    version = Atomic.make 0;
+    version = Padded.make 0;
     fallback = Mutex.create ();
     retry_threshold;
     backoff_ceiling;
+    jitter = Array.init (jitter_shards * jitter_stride) (fun _ -> Atomic.make 0);
     aborts = Obs.Counter.make ();
     conflicts = Obs.Counter.make ();
+    precise_conflicts = Obs.Counter.make ();
     explicit_aborts = Obs.Counter.make ();
     fallbacks = Obs.Counter.make ();
     backoff_waits = Obs.Counter.make ();
@@ -93,6 +123,10 @@ let[@inline] count_abort t =
 let[@inline] count_conflict t =
   Obs.Counter.incr t.conflicts;
   Obs.Counter.incr g_conflicts
+
+let[@inline] count_precise_conflict t =
+  Obs.Counter.incr t.precise_conflicts;
+  Obs.Counter.incr g_precise_conflicts
 
 let[@inline] count_explicit t =
   Obs.Counter.incr t.explicit_aborts;
@@ -111,16 +145,25 @@ let cpu_relax () = Domain.cpu_relax ()
 
 (** Bounded exponential backoff before retry [attempt] (0-based: the
     first retry waits ~2 relax iterations, doubling up to the lock's
-    ceiling).  A deterministic per-domain jitter term — an arithmetic
-    mix of the domain id and the attempt, no RNG state, no allocation —
-    desynchronizes domains that aborted on the same conflict so they do
-    not re-collide in lockstep.  Counted in the per-lock stats. *)
+    ceiling).  The jitter term comes from a per-domain Weyl-sequence
+    PRNG cell that advances on {e every} wait, so each lock
+    acquisition sees a fresh jitter sequence: domains that abort on
+    the same conflict twice do not replay identical wait schedules and
+    re-collide in lockstep (the old jitter was a pure function of
+    (domain, attempt), i.e. seeded once per domain lifetime).
+    Allocation-free.  Counted in the per-lock stats. *)
 let backoff t attempt =
   Obs.Counter.incr t.backoff_waits;
   Obs.Counter.incr g_backoff_waits;
   let spins = min t.backoff_ceiling (1 lsl min (attempt + 1) 20) in
-  let d = (Domain.self () :> int) in
-  let h = ((d + 1) * 0x9E3779B1) lxor (attempt * 0x85EBCA77) in
+  let d = (Domain.self () :> int) land (jitter_shards - 1) in
+  let cell = Array.unsafe_get t.jitter (d * jitter_stride) in
+  (* Weyl step + splitmix-style finalizer; the state survives across
+     acquisitions, which is what re-seeds the sequence. *)
+  let s = Atomic.get cell + 0x9E3779B97F4A7C1 in
+  Atomic.set cell s;
+  let h = (s lxor (s lsr 29)) * 0x3F58476D1CE4E5B9 in
+  let h = h lxor (h lsr 32) in
   let jitter = (h land max_int) mod (spins + 1) in
   for _ = 1 to spins + jitter do
     cpu_relax ()
@@ -135,7 +178,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
   let rec optimistic attempt =
     if attempt >= t.retry_threshold then fallback ()
     else begin
-      let v = Atomic.get t.version in
+      let v = Padded.get t.version in
       if v land 1 = 1 then begin
         (* A writer is inside: the elided lock is busy. *)
         count_explicit t;
@@ -152,7 +195,7 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
           | r -> Ok r
           | exception e -> Error e
         in
-        if Atomic.get t.version <> v then begin
+        if Padded.get t.version <> v then begin
           (match result with Ok (Commit x) -> on_rollback x | _ -> ());
           count_conflict t;
           count_abort t;
@@ -190,21 +233,29 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
 (* The closure passed to [with_txn] is a minor-heap allocation per
    call, and the [outcome]/[result] wrappers are more.  Allocation-free
    hot paths (the tree's find) drive the same seqlock protocol through
-   these primitives instead; the semantics mirror [with_txn] exactly. *)
+   these primitives instead; the semantics mirror [with_txn] exactly.
+   The tree's per-node protocol ({!Node_versions}) uses only the
+   fallback/stat primitives from here. *)
 
 let retry_threshold t = t.retry_threshold
 
 (** Snapshot the version word for an optimistic section; negative when
     a writer is inside (the elided lock is busy — abort immediately). *)
 let read_begin t =
-  let v = Atomic.get t.version in
+  let v = Padded.get t.version in
   if v land 1 = 1 then -1 else v
 
 (** [true] iff no writer committed since {!read_begin} returned [v]. *)
-let read_validate t v = Atomic.get t.version = v
+let read_validate t v = Padded.get t.version = v
 
 let note_abort t = count_abort t
 let note_conflict t = count_conflict t
+
+(** Count a per-node read-set invalidation ({!Node_versions}): the
+    precise-conflict bucket, disjoint from {!note_conflict}'s
+    global-version bucket.  Callers still call {!note_abort} for the
+    total. *)
+let note_precise_conflict t = count_precise_conflict t
 
 (** Count a self-inflicted abort (elided lock busy at [read_begin], or
     the target leaf's lock was held): the explicit-XABORT bucket of the
@@ -236,18 +287,19 @@ let unlock_fallback t =
     modifications, i.e. splits.) *)
 let with_write t f =
   Mutex.lock t.fallback;
-  Atomic.incr t.version;
+  Padded.incr t.version;
   if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_begin ();
   Fun.protect
     ~finally:(fun () ->
       if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_end ();
-      Atomic.incr t.version;
+      Padded.incr t.version;
       Mutex.unlock t.fallback)
     f
 
 type stats = {
   aborts : int;
   conflicts : int;
+  precise_conflicts : int;
   explicit_aborts : int;
   fallbacks : int;
   backoff_waits : int;
@@ -258,6 +310,7 @@ let stats (t : t) =
   {
     aborts = Obs.Counter.value t.aborts;
     conflicts = Obs.Counter.value t.conflicts;
+    precise_conflicts = Obs.Counter.value t.precise_conflicts;
     explicit_aborts = Obs.Counter.value t.explicit_aborts;
     fallbacks = Obs.Counter.value t.fallbacks;
     backoff_waits = Obs.Counter.value t.backoff_waits;
@@ -267,14 +320,15 @@ let merge a b =
   {
     aborts = a.aborts + b.aborts;
     conflicts = a.conflicts + b.conflicts;
+    precise_conflicts = a.precise_conflicts + b.precise_conflicts;
     explicit_aborts = a.explicit_aborts + b.explicit_aborts;
     fallbacks = a.fallbacks + b.fallbacks;
     backoff_waits = a.backoff_waits + b.backoff_waits;
   }
 
 let zero_stats =
-  { aborts = 0; conflicts = 0; explicit_aborts = 0; fallbacks = 0;
-    backoff_waits = 0 }
+  { aborts = 0; conflicts = 0; precise_conflicts = 0; explicit_aborts = 0;
+    fallbacks = 0; backoff_waits = 0 }
 
 (** Per-domain-shard breakdown: [(shard, stats)] for every shard with
     at least one non-zero counter (shard = domain id mod
@@ -291,6 +345,9 @@ let shard_stats (t : t) =
   List.iter
     (fun (s, v) -> Hashtbl.replace tbl s { (get s) with conflicts = v })
     (Obs.Counter.per_shard t.conflicts);
+  List.iter
+    (fun (s, v) -> Hashtbl.replace tbl s { (get s) with precise_conflicts = v })
+    (Obs.Counter.per_shard t.precise_conflicts);
   List.iter
     (fun (s, v) -> Hashtbl.replace tbl s { (get s) with explicit_aborts = v })
     (Obs.Counter.per_shard t.explicit_aborts);

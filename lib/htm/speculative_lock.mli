@@ -7,7 +7,13 @@
     taken for real — and, as in the paper's Algorithm 1, an explicit
     abort under the fallback releases the lock before retrying.
     Writers always serialize and bump the version to odd/even around
-    their critical section. *)
+    their critical section.
+
+    The version word of this module is tree-global (a one-line read
+    set).  The tree's hot paths use {!Node_versions} — per-node
+    versions with per-domain read sets, i.e. cache-line-granular
+    conflict detection — and this module for the shared fallback
+    mutex, writer serialization, backoff, and abort statistics. *)
 
 type t
 
@@ -53,6 +59,12 @@ val read_validate : t -> int -> bool
 val note_abort : t -> unit
 val note_conflict : t -> unit
 
+(** Count a per-node read-set invalidation ({!Node_versions}) — the
+    precise-conflict bucket, disjoint from the global-version bucket
+    of {!note_conflict}; call alongside {!note_abort}, which counts
+    the total. *)
+val note_precise_conflict : t -> unit
+
 (** Count a self-inflicted abort (elided lock busy, target leaf lock
     held — the explicit-XABORT bucket of the reason breakdown); call
     alongside {!note_abort}, which counts the total. *)
@@ -62,8 +74,10 @@ val relax : unit -> unit
 
 (** [backoff t attempt] waits before retry [attempt] (0-based) of an
     optimistic section: bounded exponential relax-loop (doubling up to
-    the lock's ceiling) plus a deterministic per-domain jitter term, so
-    domains that aborted on the same conflict do not retry in lockstep.
+    the lock's ceiling) plus a jitter term drawn from per-domain
+    Weyl-sequence state that advances on every wait — each acquisition
+    sees a fresh jitter sequence, so domains that abort on the same
+    conflict repeatedly do not replay identical wait schedules.
     Counted as [backoff_waits] in the statistics.  Raw-path callers use
     this in place of {!relax} when they track the attempt number. *)
 val backoff : t -> int -> unit
@@ -76,15 +90,19 @@ val unlock_fallback : t -> unit
 
     Domain-sharded and exact under parallel domains (the seed's single
     [Atomic.t] aggregate per lock could not attribute events to
-    domains).  [aborts] is the total; [conflicts] (version moved — TSX
-    read-set invalidation) and [explicit_aborts] (lock busy / explicit
-    XABORT) partition the causes; [fallbacks] counts entries into the
-    real mutex.  The same events feed the process-wide [htm_*_total]
-    counters in {!Obs.Registry}. *)
+    domains).  [aborts] is the total; [conflicts] (global version
+    moved — coarse read-set invalidation), [precise_conflicts]
+    (per-node read set invalidated — {!Node_versions}) and
+    [explicit_aborts] (lock busy / explicit XABORT) partition the
+    causes; [fallbacks] counts entries into the real mutex.  The same
+    events feed the process-wide [htm_*_total] counters in
+    {!Obs.Registry}. *)
 
 type stats = {
   aborts : int;
   conflicts : int;
+  precise_conflicts : int;
+      (** per-node read-set invalidations (precise conflicts) *)
   explicit_aborts : int;
   fallbacks : int;
   backoff_waits : int;  (** bounded-exponential backoff waits between retries *)
@@ -94,6 +112,7 @@ type stats = {
 val stats : t -> stats
 
 val merge : stats -> stats -> stats
+val zero_stats : stats
 
 (** Per-domain-shard breakdown, non-zero shards only; folding with
     {!merge} reproduces {!stats}. *)

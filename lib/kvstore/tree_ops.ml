@@ -13,6 +13,10 @@ type t = {
       (** [true] when the tree has its own concurrency scheme;
           otherwise the cache wraps operations in a global lock,
           mirroring how the paper drives single-threaded trees. *)
+  htm_stats : unit -> (string * int) list;
+      (** Speculative-concurrency abort counters of the underlying
+          tree ({!Fptree.Tree_intf.S.htm_stats}); empty for trees
+          without a speculative path. *)
 }
 
 let of_fptree_concurrent (tr : Fptree.Var.t) =
@@ -23,6 +27,7 @@ let of_fptree_concurrent (tr : Fptree.Var.t) =
     find = Fptree.Var.find tr;
     delete = Fptree.Var.delete tr;
     concurrent = true;
+    htm_stats = (fun () -> Fptree.Var.htm_stats tr);
   }
 
 let of_fptree_single (tr : Fptree.Var.t) =
@@ -33,6 +38,7 @@ let of_fptree_single (tr : Fptree.Var.t) =
     find = Fptree.Var.find tr;
     delete = Fptree.Var.delete tr;
     concurrent = false;
+    htm_stats = (fun () -> Fptree.Var.htm_stats tr);
   }
 
 let of_ptree (tr : Fptree.Ptree.Var.t) =
@@ -43,6 +49,7 @@ let of_ptree (tr : Fptree.Ptree.Var.t) =
     find = Fptree.Ptree.Var.find tr;
     delete = Fptree.Ptree.Var.delete tr;
     concurrent = false;
+    htm_stats = (fun () -> Fptree.Ptree.Var.htm_stats tr);
   }
 
 let of_nvtree (tr : Baselines.Nvtree.Var.t) =
@@ -53,6 +60,7 @@ let of_nvtree (tr : Baselines.Nvtree.Var.t) =
     find = Baselines.Nvtree.Var.find tr;
     delete = Baselines.Nvtree.Var.delete tr;
     concurrent = true;
+    htm_stats = (fun () -> Baselines.Nvtree.Var.htm_stats tr);
   }
 
 let of_wbtree (tr : Baselines.Wbtree.Var.t) =
@@ -63,6 +71,7 @@ let of_wbtree (tr : Baselines.Wbtree.Var.t) =
     find = Baselines.Wbtree.Var.find tr;
     delete = Baselines.Wbtree.Var.delete tr;
     concurrent = false;
+    htm_stats = (fun () -> Baselines.Wbtree.Var.htm_stats tr);
   }
 
 let of_stxtree (tr : Baselines.Stxtree.Var.t) =
@@ -73,6 +82,7 @@ let of_stxtree (tr : Baselines.Stxtree.Var.t) =
     find = Baselines.Stxtree.Var.find tr;
     delete = Baselines.Stxtree.Var.delete tr;
     concurrent = false;
+    htm_stats = (fun () -> Baselines.Stxtree.Var.htm_stats tr);
   }
 
 (** The vanilla-memcached stand-in: a plain DRAM hash table behind a
@@ -109,4 +119,5 @@ let of_hashmap () =
             end
             else false));
     concurrent = true;
+    htm_stats = (fun () -> []);
   }

@@ -16,7 +16,14 @@
 type t = { slots : int Atomic.t array }
 
 let shards = 64 (* power of two: slot = domain id land (shards - 1) *)
-let stride = 4 (* cells between live slots: >= 64B of atomic blocks *)
+
+(* Cells between live slots.  A boxed [int Atomic.t] is a 2-word block
+   (header + value), so stride 8 puts live slots >= 128 bytes apart —
+   a full line of padding on 64-byte-line machines, and safe against
+   the 128-byte prefetch pairing of recent Intel parts.  (The previous
+   stride 4 left adjacent shards only ~64B apart: exactly one line,
+   with no slack for allocation order.) *)
+let stride = 8
 
 let make () = { slots = Array.init (shards * stride) (fun _ -> Atomic.make 0) }
 

@@ -49,7 +49,14 @@ type word = {
   mutable w_changed : bool (* any store since the last flush changed bytes *)
 }
 
-type track = { t_leaf : int; mutable t_holder : int option }
+type track = {
+  t_leaf : int;
+  mutable t_holder : int option;
+  mutable t_wr : int;
+      (* open per-node version write phases (Ver_begin depth): content
+         mutations of a locked leaf must happen inside one, otherwise
+         optimistic readers can validate against a half-written leaf *)
+}
 (* One lock-tracked leaf extent; registered under every line it spans. *)
 
 type region_state = {
@@ -128,6 +135,16 @@ let analyze ?(leaf_bytes = 0) (events : T.event array) =
                    (match tr.t_holder with
                    | None -> "whose lock is not held"
                    | Some d -> Printf.sprintf "locked by domain %d" d))
+            | Some tr when tr.t_wr = 0 ->
+              (* holder matches but no version write phase is open:
+                 concurrent optimistic readers would not see this
+                 mutation in their read-set validation *)
+              raced := true;
+              mk "unversioned-leaf-store" Error
+                (Printf.sprintf
+                   "store [%d..%d) mutates locked leaf %d outside a \
+                    version write phase"
+                   off (off + len) tr.t_leaf)
             | _ -> ());
       words_of ~off ~len (fun w ->
           match Hashtbl.find_opt rs.dirty w with
@@ -193,7 +210,7 @@ let analyze ?(leaf_bytes = 0) (events : T.event array) =
     | T.Lock_acquire { leaf } ->
       let rs = region_state ev.T.region in
       let bytes = if rs.leaf_bytes > 0 then rs.leaf_bytes else 64 in
-      let tr = { t_leaf = leaf; t_holder = Some ev.T.domain } in
+      let tr = { t_leaf = leaf; t_holder = Some ev.T.domain; t_wr = 0 } in
       lines_of ~off:leaf ~len:bytes (fun l -> Hashtbl.replace rs.lines l tr)
     | T.Lock_release { leaf } ->
       let rs = region_state ev.T.region in
@@ -210,6 +227,24 @@ let analyze ?(leaf_bytes = 0) (events : T.event array) =
     | T.Leaf_layout { bytes } -> (region_state ev.T.region).leaf_bytes <- bytes
     | T.Track_reset -> Hashtbl.reset (region_state ev.T.region).lines
     | T.Writer_begin | T.Writer_end | T.Fallback_lock | T.Fallback_unlock -> ()
+    | T.Ver_begin { leaf } ->
+      let rs = region_state ev.T.region in
+      (match Hashtbl.find_opt rs.lines (leaf lsr 6) with
+      | Some tr when tr.t_leaf = leaf ->
+        if tr.t_holder <> Some ev.T.domain then
+          mk "unlocked-version-phase" Error
+            (Printf.sprintf
+               "version write phase on leaf %d %s" leaf
+               (match tr.t_holder with
+               | None -> "whose lock is not held"
+               | Some d -> Printf.sprintf "locked by domain %d" d));
+        tr.t_wr <- tr.t_wr + 1
+      | _ -> () (* untracked leaf (e.g. fresh split target): no check *))
+    | T.Ver_end { leaf } ->
+      let rs = region_state ev.T.region in
+      (match Hashtbl.find_opt rs.lines (leaf lsr 6) with
+      | Some tr when tr.t_leaf = leaf && tr.t_wr > 0 -> tr.t_wr <- tr.t_wr - 1
+      | _ -> ())
     | T.Scope_begin { op } ->
       let ds = domain_state ev.T.domain in
       ds.scope_stack <- (op, i) :: ds.scope_stack;

@@ -28,6 +28,8 @@ let kind_fields = function
   | T.Writer_end -> ("writer-end", [])
   | T.Fallback_lock -> ("fallback-lock", [])
   | T.Fallback_unlock -> ("fallback-unlock", [])
+  | T.Ver_begin { leaf } -> ("ver-begin", [ ("leaf", J.Int leaf) ])
+  | T.Ver_end { leaf } -> ("ver-end", [ ("leaf", J.Int leaf) ])
   | T.Scope_begin { op } -> ("scope-begin", [ ("op", J.Str op) ])
   | T.Scope_end { op } -> ("scope-end", [ ("op", J.Str op) ])
 
@@ -68,6 +70,8 @@ let kind_of_json j =
   | "writer-end" -> T.Writer_end
   | "fallback-lock" -> T.Fallback_lock
   | "fallback-unlock" -> T.Fallback_unlock
+  | "ver-begin" -> T.Ver_begin { leaf = geti j "leaf" }
+  | "ver-end" -> T.Ver_end { leaf = geti j "leaf" }
   | "scope-begin" -> T.Scope_begin { op = gets j "op" }
   | "scope-end" -> T.Scope_end { op = gets j "op" }
   | k -> raise (Bad_trace (Printf.sprintf "unknown event kind %S" k))

@@ -1,0 +1,14 @@
+(** Per-thread CPU clock (see cputime_stubs.c): the basis of the
+    "effective seconds" metric used by the concurrency benchmarks on
+    machines with fewer cores than benchmark domains. *)
+
+external thread_cputime_ns : unit -> float = "scm_thread_cputime_ns"
+
+let available () = thread_cputime_ns () >= 0.
+
+(** CPU seconds consumed by the calling thread so far; falls back to
+    wall-clock time where the per-thread clock is unavailable (deltas
+    then measure wall time, which is the best remaining estimate). *)
+let thread_seconds () =
+  let ns = thread_cputime_ns () in
+  if ns < 0. then Unix.gettimeofday () else ns *. 1e-9

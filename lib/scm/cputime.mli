@@ -1,0 +1,15 @@
+(** Per-thread CPU clock ([CLOCK_THREAD_CPUTIME_ID]).
+
+    Concurrency benchmarks convert per-domain CPU time into "effective
+    seconds": the time the run would have taken with one dedicated core
+    per domain.  On a machine with enough cores this equals wall-clock
+    time; on an oversubscribed machine it removes the OS time-sharing
+    artifact that makes every multi-domain run look slower than one
+    domain. *)
+
+val available : unit -> bool
+(** [true] when the per-thread clock works on this platform. *)
+
+val thread_seconds : unit -> float
+(** CPU seconds consumed by the calling thread; wall-clock fallback
+    when unavailable. *)

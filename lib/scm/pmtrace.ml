@@ -49,6 +49,11 @@ type kind =
           this region (recovery legitimately writes without locks). *)
   | Writer_begin | Writer_end        (** HTM-fallback writer section. *)
   | Fallback_lock | Fallback_unlock  (** HTM fallback mutex (readers). *)
+  | Ver_begin of { leaf : int }
+      (** Per-node version write phase opened on a leaf: the writer is
+          about to mutate the leaf's content, and optimistic readers
+          observing the leaf abort until the matching [Ver_end]. *)
+  | Ver_end of { leaf : int }
   | Scope_begin of { op : string }
   | Scope_end of { op : string }
 
@@ -145,6 +150,8 @@ let writer_begin () = record ~region:(-1) Writer_begin
 let writer_end () = record ~region:(-1) Writer_end
 let fallback_lock () = record ~region:(-1) Fallback_lock
 let fallback_unlock () = record ~region:(-1) Fallback_unlock
+let ver_begin ~region ~leaf = record ~region (Ver_begin { leaf })
+let ver_end ~region ~leaf = record ~region (Ver_end { leaf })
 
 let scope_begin op =
   if enabled () then begin

@@ -24,6 +24,9 @@ type kind =
   | Writer_end
   | Fallback_lock
   | Fallback_unlock
+  | Ver_begin of { leaf : int }
+      (** Per-node version write phase on a leaf (writer inside). *)
+  | Ver_end of { leaf : int }
   | Scope_begin of { op : string }
   | Scope_end of { op : string }
 
@@ -65,5 +68,7 @@ val writer_begin : unit -> unit
 val writer_end : unit -> unit
 val fallback_lock : unit -> unit
 val fallback_unlock : unit -> unit
+val ver_begin : region:int -> leaf:int -> unit
+val ver_end : region:int -> leaf:int -> unit
 val scope_begin : string -> unit
 val scope_end : string -> unit

@@ -7,6 +7,14 @@ val now : unit -> float
 (** [run ~domains f] returns the elapsed seconds. *)
 val run : domains:int -> (int -> unit) -> float
 
+(** [run_cpu ~domains f] returns [(wall, effective)] seconds, where
+    [effective] is the maximum per-worker thread-CPU time — equal to
+    wall on a dedicated-core machine, and the scheduler-independent
+    scaling measure on an oversubscribed one (see the implementation
+    comment).  Falls back to wall time when the per-thread clock is
+    unavailable. *)
+val run_cpu : domains:int -> (int -> unit) -> float * float
+
 (** [slice ~domains ~total d] is worker [d]'s [lo, hi) index range. *)
 val slice : domains:int -> total:int -> int -> int * int
 

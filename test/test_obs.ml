@@ -254,8 +254,7 @@ let test_htm_per_domain_shards () =
   let shards = Spec.shard_stats l in
   Alcotest.(check bool) "per-domain shards present" true (shards <> []);
   let zero =
-    { Spec.aborts = 0; conflicts = 0; explicit_aborts = 0; fallbacks = 0;
-      backoff_waits = 0 }
+    Spec.zero_stats
   in
   let folded = List.fold_left (fun a (_, x) -> Spec.merge a x) zero shards in
   Alcotest.(check int) "folding shard_stats reproduces stats" s.Spec.aborts

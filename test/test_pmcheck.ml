@@ -145,6 +145,50 @@ let test_analyzer_race () =
   Alcotest.(check bool) "holder ok" true
     (not (List.mem "leaf-lock-race" (classes (A.analyze trace_ok))))
 
+let test_analyzer_version_phase () =
+  (* A holder mutating its locked leaf OUTSIDE a version write phase is
+     invisible to optimistic readers' read-set validation: Error. *)
+  let unversioned =
+    [|
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      ev ~site:"insert" (T.Store { off = 300; len = 8; silent = false });
+    |]
+  in
+  Alcotest.(check bool) "unversioned store flagged" true
+    (List.mem "unversioned-leaf-store" (classes (A.analyze unversioned)));
+  (* same store inside a Ver_begin/Ver_end bracket is clean *)
+  let versioned =
+    [|
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      ev (T.Ver_begin { leaf = 256 });
+      ev ~site:"insert" (T.Store { off = 300; len = 8; silent = false });
+      ev (T.Ver_end { leaf = 256 });
+      ev (T.Lock_release { leaf = 256 });
+    |]
+  in
+  Alcotest.(check bool) "versioned store ok" true
+    (not
+       (List.mem "unversioned-leaf-store" (classes (A.analyze versioned))
+       || List.mem "unlocked-version-phase" (classes (A.analyze versioned))));
+  (* a version phase opened by a domain that does not hold the lock *)
+  let foreign =
+    [|
+      ev (T.Leaf_layout { bytes = 128 });
+      ev (T.Lock_acquire { leaf = 256 });
+      ev ~domain:2 (T.Ver_begin { leaf = 256 });
+    |]
+  in
+  Alcotest.(check bool) "foreign version phase flagged" true
+    (List.mem "unlocked-version-phase" (classes (A.analyze foreign)));
+  (* untracked leaves (fresh split targets) are exempt *)
+  let untracked =
+    [| ev (T.Ver_begin { leaf = 512 }); ev (T.Ver_end { leaf = 512 }) |]
+  in
+  Alcotest.(check (list string)) "untracked leaf exempt" []
+    (classes (A.errors (A.analyze untracked)))
+
 let test_analyzer_unlogged_link () =
   let link = T.Link_write { off = 512; len = 16 } in
   let bad = [| ev ~site:"split" link |] in
@@ -234,6 +278,8 @@ let test_trace_roundtrip () =
       ev (T.Log_arm { log = 128 });
       ev (T.Log_reset { log = 128 });
       ev (T.Lock_acquire { leaf = 256 });
+      ev (T.Ver_begin { leaf = 256 });
+      ev (T.Ver_end { leaf = 256 });
       ev (T.Lock_release { leaf = 256 });
       ev (T.Leaf_retired { leaf = 256 });
       ev (T.Leaf_layout { bytes = 128 });
@@ -310,6 +356,7 @@ let () =
       ( "analyzer",
         [
           Alcotest.test_case "leaf-lock race" `Quick test_analyzer_race;
+          Alcotest.test_case "version write phases" `Quick test_analyzer_version_phase;
           Alcotest.test_case "unlogged link write" `Quick test_analyzer_unlogged_link;
           Alcotest.test_case "missing persist" `Quick test_analyzer_missing_persist;
           Alcotest.test_case "flush classes" `Quick test_analyzer_flush_classes;

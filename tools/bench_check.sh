@@ -25,6 +25,22 @@ echo "== hotpath microbench (scale $SCALE) =="
 HOTPATH_LABEL="bench_check" HOTPATH_OUT="/tmp/bench_check_hotpath.json" \
   dune exec bench/main.exe -- --scale "$SCALE" hotpath
 
+echo "== scaling (2-domain conc_find must not be slower than 1-domain) =="
+# The hotpath bench above already ran the 1/2/4-domain matrix and wrote
+# flat speedup keys (effective thread-CPU seconds, so the gate holds on
+# single-core CI hosts too).  A 2-domain speedup below 1.0x means the
+# per-node validation protocol costs more than it buys: fail.
+HP_JSON=/tmp/bench_check_hotpath.json
+speedup=$(sed -n 's/.*"conc_find_speedup_2x": \([0-9.]*\).*/\1/p' "$HP_JSON")
+if [ -z "$speedup" ]; then
+  echo "FAIL: conc_find_speedup_2x missing from $HP_JSON"; exit 1
+fi
+if ! awk "BEGIN{exit !($speedup >= 1.0)}"; then
+  echo "FAIL: 2-domain conc_find speedup $speedup < 1.0x"; exit 1
+fi
+mixed=$(sed -n 's/.*"conc_mixed_speedup_2x": \([0-9.]*\).*/\1/p' "$HP_JSON")
+echo "   conc_find 2-domain speedup: ${speedup}x (conc_mixed: ${mixed}x)"
+
 echo "== observability smoke (instrumented pass + metrics dump) =="
 CLI=_build/default/bin/fptree_cli.exe
 IMG=/tmp/bench_check_tree.scm

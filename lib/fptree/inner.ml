@@ -26,6 +26,13 @@
     routing, and a reader that slipped through would otherwise validate
     successfully against a half-committed shape.
 
+    The root pointer itself has no parent cell to invalidate through,
+    so the tree carries a dedicated [root_ver] cell: the [_rs]
+    traversals observe it before dereferencing [root], and a root
+    split bumps it around the swap.  Without it, a descent that loaded
+    [root] just before the swap could validate against the detached
+    pre-split root and miss every key above the new separator.
+
     The structure is parametric in the key type; all functions take the
     comparison explicitly. *)
 
@@ -52,6 +59,15 @@ type 'k t = {
   fanout : int;
   dummy_key : 'k;
   mutable root : 'k node;
+  root_ver : Nv.cell;
+      (* Guards the [root] pointer itself.  Every node below the root
+         is reached through a parent cell the reader has already
+         observed, so a swap of any interior edge invalidates the
+         reader; the root pointer has no parent, so without this cell a
+         descent that loaded [root] just before a root split was
+         swapped in — and observed the old root's cell only after its
+         write phase closed — would validate against the detached
+         pre-split root and miss every key above the new separator. *)
 }
 
 let make_inner t =
@@ -64,7 +80,9 @@ let make_inner t =
 
 let create ~fanout ~dummy_key first_leaf =
   if fanout < 2 then invalid_arg "Inner.create: fanout must be >= 2";
-  let t = { fanout; dummy_key; root = Leaf first_leaf } in
+  let t =
+    { fanout; dummy_key; root = Leaf first_leaf; root_ver = Nv.fresh () }
+  in
   let root = make_inner t in
   root.children.(0) <- Leaf first_leaf;
   t.root <- Inner root;
@@ -90,17 +108,25 @@ let rec find_leaf cmp node key =
   | Leaf l -> l
   | Inner n -> find_leaf cmp n.children.(child_index cmp n key) key
 
-(** {!find_leaf} for optimistic readers: observes each inner node's
-    version into [rs] {e before} reading its fields, so commit-time
-    validation fails iff a writer modified a node on this path.
-    Allocation-free.
-    @raise Nv.Conflict when a writer is inside a node on the path. *)
-let rec find_leaf_rs rs cmp node key =
+(* Node-level descent shared by the [_rs] entry points below; the
+   caller must already have observed the cell guarding [node] (the
+   parent's cell, or [root_ver] for the root). *)
+let rec find_node_rs rs cmp node key =
   match node with
   | Leaf l -> l
   | Inner n ->
     Nv.observe rs n.ver;
-    find_leaf_rs rs cmp n.children.(child_index cmp n key) key
+    find_node_rs rs cmp n.children.(child_index cmp n key) key
+
+(** {!find_leaf} for optimistic readers: observes [t.root_ver] before
+    dereferencing the root pointer, then each inner node's version
+    {e before} reading its fields, so commit-time validation fails iff
+    a writer modified a node on this path — or swapped the root out
+    from under it.  Allocation-free.
+    @raise Nv.Conflict when a writer is inside a node on the path. *)
+let find_leaf_rs rs cmp t key =
+  Nv.observe rs t.root_ver;
+  find_node_rs rs cmp t.root key
 
 let rec rightmost_leaf = function
   | Leaf l -> l
@@ -129,8 +155,9 @@ let find_leaf_and_prev cmp root key =
   in
   go root None
 
-(** {!find_leaf_and_prev} with read-set recording (both descents). *)
-let find_leaf_and_prev_rs rs cmp root key =
+(** {!find_leaf_and_prev} with read-set recording (root pointer and
+    both descents). *)
+let find_leaf_and_prev_rs rs cmp t key =
   let rec go node left =
     match node with
     | Leaf l -> (l, Option.map (rightmost_leaf_rs rs) left)
@@ -140,7 +167,8 @@ let find_leaf_and_prev_rs rs cmp root key =
       let left = if i > 0 then Some n.children.(i - 1) else left in
       go n.children.(i) left
   in
-  go root None
+  Nv.observe rs t.root_ver;
+  go t.root None
 
 (* ---- structural updates (run under the writer lock) ---- *)
 
@@ -223,7 +251,15 @@ let update_parents t cmp ~sep ~right =
     root.keys.(0) <- sep';
     root.children.(0) <- old_root;
     root.children.(1) <- Inner right';
+    (* The swap changes which keys are reachable from the root
+       pointer, and the pointer has no parent cell to invalidate
+       through: bump [root_ver] around it so a reader that loaded the
+       old root just before the swap fails validation instead of
+       resolving keys above [sep'] against the detached pre-split
+       root. *)
+    Nv.begin_write t.root_ver;
     t.root <- Inner root;
+    Nv.end_write t.root_ver;
     Nv.end_write c.ver
 
 let remove_at n pos =
@@ -279,9 +315,13 @@ let remove_leaf t cmp key =
       Nv.end_write n.ver
     | Leaf _ -> assert false
   end;
-  (* Collapse a root holding a single inner child.  A pointer swap:
-     both the old and the new root give consistent views, so no version
-     bump is needed. *)
+  (* Collapse a root holding a single inner child.  Unlike a root
+     split, this swap does not change reachability — the old root is a
+     single-child inner routing every key into the new root — so a
+     reader still descending through the old root sees a consistent
+     current view and no [root_ver] bump is needed.  (Should the tree
+     later grow a new root above [c], that swap bumps [root_ver] and
+     invalidates any reader still holding the stale pointer.) *)
   match t.root with
   | Inner n when n.nkeys = 0 -> (
     match n.children.(0) with Inner _ as c -> t.root <- c | Leaf _ -> ())
@@ -293,7 +333,9 @@ let remove_leaf t cmp key =
     each leaf's greatest key.  Nodes are packed to ~[fill] of fanout.
     Single-threaded (recovery): fresh version cells, no bumps. *)
 let rebuild ~fanout ~dummy_key ?(fill = 0.85) (leaves : ('k * leaf_ref) array) =
-  let t = { fanout; dummy_key; root = Leaf (leaf_ref (-1)) } in
+  let t =
+    { fanout; dummy_key; root = Leaf (leaf_ref (-1)); root_ver = Nv.fresh () }
+  in
   let n_leaves = Array.length leaves in
   if n_leaves = 0 then invalid_arg "Inner.rebuild: no leaves";
   let per_node = max 2 (min fanout (int_of_float (float_of_int fanout *. fill))) in

@@ -33,6 +33,10 @@ type 'k t = {
   fanout : int;
   dummy_key : 'k;
   mutable root : 'k node;
+  root_ver : Htm.Node_versions.cell;
+      (** guards the [root] pointer: observed by the [_rs] traversals
+          before dereferencing [root], bumped around a root-split swap
+          (the root has no parent cell to invalidate through) *)
 }
 
 (** A tree over a single leaf: root is an inner node with one child.
@@ -45,16 +49,19 @@ val child_index : ('k -> 'k -> int) -> 'k inner -> 'k -> int
 (** Descend to the leaf responsible for [key]. *)
 val find_leaf : ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref
 
-(** {!find_leaf} for optimistic readers: observes each traversed inner
-    node's version into the read set before reading its fields.
+(** {!find_leaf} for optimistic readers: observes [root_ver] before
+    dereferencing the root pointer, then each traversed inner node's
+    version into the read set before reading its fields.
     Allocation-free.
     @raise Htm.Node_versions.Conflict if a writer is inside a node. *)
 val find_leaf_rs :
-  Htm.Node_versions.readset -> ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref
+  Htm.Node_versions.readset -> ('k -> 'k -> int) -> 'k t -> 'k -> leaf_ref
 
 val rightmost_leaf : 'k node -> leaf_ref
 val leftmost_leaf : 'k node -> leaf_ref
 
+(** Sub-descent helper: the caller must already have observed the cell
+    guarding [node] (its parent's, or [root_ver] for the root). *)
 val rightmost_leaf_rs : Htm.Node_versions.readset -> 'k node -> leaf_ref
 
 (** The leaf for [key] plus the leaf immediately to its left in key
@@ -62,10 +69,11 @@ val rightmost_leaf_rs : Htm.Node_versions.readset -> 'k node -> leaf_ref
 val find_leaf_and_prev :
   ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref * leaf_ref option
 
-(** {!find_leaf_and_prev} with read-set recording on both descents. *)
+(** {!find_leaf_and_prev} with read-set recording on the root pointer
+    and both descents. *)
 val find_leaf_and_prev_rs :
   Htm.Node_versions.readset ->
-  ('k -> 'k -> int) -> 'k node -> 'k -> leaf_ref * leaf_ref option
+  ('k -> 'k -> int) -> 'k t -> 'k -> leaf_ref * leaf_ref option
 
 (** Register the new right half of a leaf split next to the leaf
     currently responsible for [sep] (UpdateParents); splits inner

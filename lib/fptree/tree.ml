@@ -823,7 +823,7 @@ module Make (K : Keys.KEY) = struct
     else
       let inner = t.inner in
       let rs = Nv.scratch () in
-      match Inner.find_leaf_rs rs K.compare inner.Inner.root k with
+      match Inner.find_leaf_rs rs K.compare inner k with
       | exception Nv.Conflict -> lock_retry_conflict t k attempt
       | exception e ->
         (* Trust the exception only if no writer raced us. *)
@@ -890,7 +890,7 @@ module Make (K : Keys.KEY) = struct
     else
       let inner = t.inner in
       let rs = Nv.scratch () in
-      match Inner.find_leaf_rs rs K.compare inner.Inner.root k with
+      match Inner.find_leaf_rs rs K.compare inner k with
       | exception Nv.Conflict -> find_retry_conflict t k h attempt
       | exception e ->
         if Nv.validate rs then raise e
@@ -1139,7 +1139,7 @@ module Make (K : Keys.KEY) = struct
     else
       let inner = t.inner in
       let rs = Nv.scratch () in
-      match Inner.find_leaf_and_prev_rs rs K.compare inner.Inner.root k with
+      match Inner.find_leaf_and_prev_rs rs K.compare inner k with
       | exception Nv.Conflict -> delete_retry t k h attempt
       | exception e ->
         if Nv.validate rs then raise e else delete_retry t k h attempt
@@ -1304,8 +1304,15 @@ module Make (K : Keys.KEY) = struct
     else
       let inner = t.inner in
       let rs = Nv.scratch () in
-      match Inner.find_leaf_rs rs K.compare inner.Inner.root lo with
+      match Inner.find_leaf_rs rs K.compare inner lo with
       | exception Nv.Conflict -> range_start_retry t lo attempt
+      | exception e ->
+        (* Trust the exception only if no writer raced us (same
+           discipline as [find_attempt]/[lock_attempt]): a torn read
+           during a racing structural update must retry, not escape to
+           the range caller. *)
+        if Nv.validate rs then raise e
+        else range_start_retry t lo attempt
       | leaf ->
         if Nv.validate rs then leaf
         else range_start_retry t lo attempt

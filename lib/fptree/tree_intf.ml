@@ -4,7 +4,16 @@
 
     Values are 63-bit integers (the paper uses 8-byte integer values);
     payload-size experiments pad the persisted value footprint via each
-    tree's configuration. *)
+    tree's configuration.
+
+    {b Threading model.}  Concurrent trees are safe for one caller per
+    {e domain} ([Domain.spawn]); the optimistic read path keeps its
+    read-set scratch buffer in domain-local storage ([Domain.DLS]), so
+    two systhreads ([Thread.create]) time-sharing one domain must not
+    call into the same tree concurrently — their interleaved optimistic
+    sections would share and corrupt the buffer, and a torn traversal
+    could validate.  Benchmarks and the kvstore server use one worker
+    per domain, matching the paper's one-thread-per-core setup. *)
 
 module type S = sig
   type t

@@ -35,8 +35,13 @@ type readset
 
 val scratch : unit -> readset
 (** The calling domain's preallocated read-set buffer, emptied.  Only
-    one optimistic section per domain may be active at a time (tree
-    operations do not nest optimistic sections). *)
+    one optimistic section per domain may be active at a time: the
+    buffer is keyed by [Domain.DLS], so tree operations must not nest
+    optimistic sections, and two systhreads time-sharing one domain
+    must not run optimistic sections concurrently (they would share
+    and corrupt the buffer, letting a torn traversal validate).  The
+    tree API ({!Fptree.Tree_intf}) states the resulting
+    one-caller-per-domain rule. *)
 
 val observe : readset -> cell -> unit
 (** Record a cell's current version into the read set.

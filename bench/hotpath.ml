@@ -145,6 +145,86 @@ let concurrent_suite n =
           done))
     (domains_matrix ())
 
+(* ---- trace overhead: the flight recorder's hot-path cost ---- *)
+
+(* The observability contract (DESIGN.md §12): with the gate off the
+   hot paths are byte-identical to the uninstrumented build; with it on,
+   single-domain find throughput may drop at most 10%.  This stage
+   measures the second half of that pin — gate-off vs gate-on find
+   throughput over the same tree and probe order, interleaved best-of-k
+   so scheduler drift hits both sides equally.  The tree is the bench's
+   canonical 1M-key scale regardless of --scale: the pin is a ratio
+   against the find everyone else measures, and a toy tree whose hot
+   set fits in L2 overstates the relative cost of the fixed ~30 ns
+   per-event budget. *)
+type trace_overhead = {
+  find_mops_off : float;
+  find_mops_on : float;
+  ratio : float;  (* on / off throughput; gate: >= 0.9 *)
+}
+
+let overhead : trace_overhead option ref = ref None
+
+let measure_trace_overhead () =
+  Env.parallel ~latency_ns:90. ();
+  let n = 1_000_000 in
+  let a = Pmem.Palloc.create ~size:(256 * 1024 * 1024) () in
+  let t = F.create_single a in
+  let ins = Workloads.Keygen.permutation ~seed:301 n in
+  Array.iter (fun k -> ignore (F.insert t (2 * k) k)) ins;
+  let probe = Workloads.Keygen.permutation ~seed:302 n in
+  (* Comparing two whole passes is too noisy on this container (CPU
+     frequency and scheduler drift show up as +/-8% between passes,
+     swamping a ~5% effect).  Instead the two sides alternate per 64k
+     chunk of the probe order, with the side that goes first flipping
+     each chunk so neither side systematically inherits the other's
+     warm cache; total per-side time over several passes gives the
+     ratio. *)
+  let chunk = 65_536 in
+  let nchunks = (n + chunk - 1) / chunk in
+  let passes = 8 in
+  let time_chunk lo hi =
+    let t0 = Obs.Clock.now_s () in
+    for i = lo to hi - 1 do
+      ignore (F.find t (2 * Array.unsafe_get probe i))
+    done;
+    Obs.Clock.now_s () -. t0
+  in
+  ignore (time_chunk 0 n);  (* warm caches before either side is timed *)
+  let t_off = ref 0. and t_on = ref 0. in
+  for pass = 0 to passes - 1 do
+    for ci = 0 to nchunks - 1 do
+      let lo = ci * chunk and hi = min n ((ci + 1) * chunk) in
+      if (pass + ci) land 1 = 0 then begin
+        Obs.Gate.set_enabled true;
+        t_on := !t_on +. time_chunk lo hi;
+        Obs.Gate.set_enabled false;
+        t_off := !t_off +. time_chunk lo hi
+      end
+      else begin
+        Obs.Gate.set_enabled false;
+        t_off := !t_off +. time_chunk lo hi;
+        Obs.Gate.set_enabled true;
+        t_on := !t_on +. time_chunk lo hi
+      end
+    done
+  done;
+  Obs.Gate.set_enabled false;
+  let total = float_of_int (passes * n) in
+  let mops secs = total /. secs /. 1e6 in
+  let o =
+    {
+      find_mops_off = mops !t_off;
+      find_mops_on = mops !t_on;
+      ratio = !t_off /. !t_on;
+    }
+  in
+  overhead := Some o;
+  Printf.printf
+    "  trace-overhead find: off %8.3f Mops/s, on %8.3f Mops/s  (ratio %.3f)\n"
+    o.find_mops_off o.find_mops_on o.ratio;
+  flush stdout
+
 (* ---- fixed op traces: instrumented counters must not drift ---- *)
 
 type trace_counters = {
@@ -292,6 +372,14 @@ let emit_json path ~label ~n =
     [ "conc_find"; "conc_mixed" ];
   Buffer.add_string b (String.concat ",\n" (List.rev !entries));
   Buffer.add_string b "\n  },\n";
+  (match !overhead with
+  | Some o ->
+    Printf.bprintf b "  \"trace_overhead\": {\n";
+    Printf.bprintf b "    \"find_mops_off\": %.4f,\n" o.find_mops_off;
+    Printf.bprintf b "    \"find_mops_on\": %.4f,\n" o.find_mops_on;
+    Printf.bprintf b "    \"trace_overhead_find_ratio\": %.4f\n" o.ratio;
+    Buffer.add_string b "  },\n"
+  | None -> ());
   Printf.bprintf b "  \"instrumented_counter_traces\": [\n";
   let traces = List.rev !traces in
   List.iteri
@@ -335,6 +423,9 @@ let run () =
   (* concurrency: wall-clock mode, 1 and N domains *)
   Env.parallel ~latency_ns:90. ();
   concurrent_suite (max 100_000 (n / 2));
+  (* flight-recorder overhead pin (gate restored to off afterwards, so
+     the counter traces below stay byte-identical to the seed) *)
+  measure_trace_overhead ();
   (* counter-pinning traces *)
   counter_trace ~trace:"core" core_trace;
   counter_trace ~trace:"delete_heavy" delete_heavy_trace;

@@ -81,9 +81,38 @@ let trace_arg =
            publication points, lock transitions) of this command to $(docv) \
            as JSON; analyze it with $(b,fptree_cli pmcheck)")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"PATH"
+        ~doc:
+          "enable the flight recorder and write its event dump to $(docv): \
+           at command end, and from any failure-detection point (chaos \
+           divergence, injected crash, unrepaired fsck errors); summarize \
+           with $(b,fptree_cli trace); '-' writes to stdout")
+
+(* The flag both enables the gate (flight events only exist when the
+   observability gate is on) and registers the crash-dump path that
+   every failure-detection site writes through. *)
+let with_flight flight f =
+  (match flight with
+  | Some p ->
+    Obs.Gate.set_enabled true;
+    Obs.Flight.set_crash_dump (Some p)
+  | None -> ());
+  let r = f () in
+  (match flight with
+  | Some p ->
+    Obs.Flight.dump ~reason:"cli: command completed" p;
+    Printf.eprintf "flight: dump -> %s\n" p
+  | None -> ());
+  r
+
 (* Enable the app-level gate only when a dump was requested, so plain
    CLI runs keep the uninstrumented paths. *)
-let with_metrics metrics format trace f =
+let with_metrics metrics format trace flight f =
+  with_flight flight @@ fun () ->
   (match metrics with Some _ -> Obs.Gate.set_enabled true | None -> ());
   (match trace with
   | Some _ ->
@@ -104,8 +133,8 @@ let with_metrics metrics format trace f =
 (* ---- commands ---- *)
 
 let create_cmd =
-  let run metrics format trace path size_mb checksums =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path size_mb checksums =
+    with_metrics metrics format trace flight @@ fun () ->
     Scm.Registry.clear ();
     let alloc = Pmem.Palloc.create ~size:(size_mb * 1024 * 1024) () in
     ignore
@@ -129,22 +158,22 @@ let create_cmd =
              operation)")
   in
   Cmd.v (Cmd.info "create" ~doc:"create an empty persistent tree image")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ size $ checksums)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ size $ checksums)
 
 let put_cmd =
-  let run metrics format trace path k v =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path k v =
+    with_metrics metrics format trace flight @@ fun () ->
     let region, t = load_tree path in
     if not (Fptree.Fixed.insert t k v) then ignore (Fptree.Fixed.update t k v);
     save region path;
     Printf.printf "%d -> %d\n" k v
   in
   Cmd.v (Cmd.info "put" ~doc:"insert or update a pair")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let get_cmd =
-  let run metrics format trace path k =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path k =
+    with_metrics metrics format trace flight @@ fun () ->
     let _, t = load_tree path in
     match Fptree.Fixed.find t k with
     | Some v -> Printf.printf "%d\n" v
@@ -153,33 +182,33 @@ let get_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "get" ~doc:"look a key up")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1)
 
 let del_cmd =
-  let run metrics format trace path k =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path k =
+    with_metrics metrics format trace flight @@ fun () ->
     let region, t = load_tree path in
     let existed = Fptree.Fixed.delete t k in
     save region path;
     print_endline (if existed then "deleted" else "not found")
   in
   Cmd.v (Cmd.info "del" ~doc:"delete a key")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1)
 
 let range_cmd =
-  let run metrics format trace path lo hi =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path lo hi =
+    with_metrics metrics format trace flight @@ fun () ->
     let _, t = load_tree path in
     List.iter
       (fun (k, v) -> Printf.printf "%d %d\n" k v)
       (Fptree.Fixed.range t ~lo ~hi)
   in
   Cmd.v (Cmd.info "range" ~doc:"inclusive range scan")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1 $ key_arg 2)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1 $ key_arg 2)
 
 let stats_cmd =
-  let run metrics format trace path =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path =
+    with_metrics metrics format trace flight @@ fun () ->
     let _, t = load_tree path in
     Printf.printf "keys:        %d\n" (Fptree.Fixed.count t);
     Printf.printf "leaves:      %d\n" (Fptree.Fixed.leaf_count t);
@@ -188,11 +217,11 @@ let stats_cmd =
     Printf.printf "DRAM bytes:  %d (rebuilt on recovery)\n" (Fptree.Fixed.dram_bytes t)
   in
   Cmd.v (Cmd.info "stats" ~doc:"tree statistics")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg)
 
 let fill_cmd =
-  let run metrics format trace path n =
-    with_metrics metrics format trace @@ fun () ->
+  let run metrics format trace flight path n =
+    with_metrics metrics format trace flight @@ fun () ->
     let region, t = load_tree path in
     let base = Fptree.Fixed.count t in
     for i = base + 1 to base + n do
@@ -202,7 +231,7 @@ let fill_cmd =
     Printf.printf "inserted %d pairs (now %d keys)\n" n (Fptree.Fixed.count t)
   in
   Cmd.v (Cmd.info "fill" ~doc:"bulk-insert N sequential pairs")
-    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ path_arg $ key_arg 1)
+    Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1)
 
 (* ---- metrics: pretty-print a saved JSON dump ---- *)
 
@@ -267,6 +296,178 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"pretty-print a saved JSON metrics dump")
     Term.(const run $ dump_arg)
 
+(* ---- trace: summarize a flight-recorder dump ---- *)
+
+let trace_cmd =
+  let module E = Obs.Event in
+  let module F = Obs.Flight in
+  let run path =
+    let events, names, reason =
+      match F.of_json (Obs.Json.parse (read_file path)) with
+      | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "%s: not a JSON flight dump (%s)\n" path msg;
+        exit 1
+      | exception Failure msg ->
+        Printf.eprintf "%s: not a flight dump (%s)\n" path msg;
+        exit 1
+      | r -> r
+    in
+    let doms =
+      List.sort_uniq compare (List.map (fun e -> e.F.dom) events)
+    in
+    Printf.printf "flight dump: %s\n" path;
+    Printf.printf "reason:      %s\n" reason;
+    Printf.printf "events:      %d across %d domain ring(s)\n"
+      (List.length events) (List.length doms);
+    (* per-op latency percentiles, from op_end durations; hot read
+       paths emit most ops as latency-free markers (c = -1) and
+       measure a ~1/16 sample, so the count column is every completed
+       op while the percentiles come from the sampled subset *)
+    let by_kind = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        if e.F.tag = E.op_end then
+          let total, durs =
+            Option.value ~default:(0, [])
+              (Hashtbl.find_opt by_kind e.F.a)
+          in
+          let durs = if e.F.c >= 0 then e.F.c :: durs else durs in
+          Hashtbl.replace by_kind e.F.a (total + 1, durs))
+      events;
+    if Hashtbl.length by_kind > 0 then begin
+      Printf.printf "\nper-op latency (completed ops in the ring window):\n";
+      Printf.printf "  %-14s %8s %8s %8s %8s %8s %8s\n" "op" "count"
+        "sampled" "p50_us" "p90_us" "p99_us" "max_us";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_kind []
+      |> List.sort compare
+      |> List.iter (fun (k, (total, durs)) ->
+             let a = Array.of_list durs in
+             Array.sort compare a;
+             let n = Array.length a in
+             if n = 0 then
+               Printf.printf "  %-14s %8d %8d %8s %8s %8s %8s\n"
+                 (E.op_name k) total 0 "-" "-" "-" "-"
+             else begin
+               let q p = a.(min (n - 1) (p * n / 100)) in
+               Printf.printf "  %-14s %8d %8d %8d %8d %8d %8d\n"
+                 (E.op_name k) total n (q 50) (q 90) (q 99) a.(n - 1)
+             end)
+    end;
+    (* abort attribution: reason x descent depth (-1 = unknown) *)
+    let aborts = List.filter (fun e -> e.F.tag = E.htm_abort) events in
+    if aborts <> [] then begin
+      let max_depth =
+        List.fold_left (fun m e -> max m e.F.c) (-1) aborts
+      in
+      Printf.printf "\nHTM aborts by reason x descent depth:\n";
+      Printf.printf "  %-18s %8s" "reason" "unknown";
+      for d = 0 to max_depth do
+        Printf.printf " %7s" ("d=" ^ string_of_int d)
+      done;
+      Printf.printf " %8s\n" "total";
+      List.iter
+        (fun reason ->
+          let mine = List.filter (fun e -> e.F.a = reason) aborts in
+          if mine <> [] then begin
+            let at d = List.length (List.filter (fun e -> e.F.c = d) mine) in
+            Printf.printf "  %-18s %8d" (E.abort_name reason) (at (-1));
+            for d = 0 to max_depth do
+              Printf.printf " %7d" (at d)
+            done;
+            Printf.printf " %8d\n" (List.length mine)
+          end)
+        [ E.abort_global; E.abort_precise; E.abort_explicit ]
+    end;
+    (* top contended nodes: precise aborts carry the failing node *)
+    let attributed = List.filter (fun e -> e.F.b <> -1) aborts in
+    if attributed <> [] then begin
+      let per_node = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          Hashtbl.replace per_node e.F.b
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_node e.F.b)))
+        attributed;
+      let top =
+        Hashtbl.fold (fun node n acc -> (n, node) :: acc) per_node []
+        |> List.sort (fun a b -> compare b a)
+      in
+      Printf.printf "\ntop contended nodes (aborts attributed to them):\n";
+      List.iteri
+        (fun i (n, node) ->
+          if i < 10 then
+            let what =
+              if node = 0 then "root version cell"
+              else if node > 0 then Printf.sprintf "leaf @%d" node
+              else Printf.sprintf "inner #%d" (-node)
+            in
+            Printf.printf "  %6d  %s\n" n what)
+        top
+    end;
+    (* serialization pressure *)
+    let count tag = List.length (List.filter (fun e -> e.F.tag = tag) events) in
+    let fallbacks = count E.fallback_lock and backoffs = count E.backoff_wait in
+    if fallbacks + backoffs > 0 then
+      Printf.printf "\nfallback-lock acquisitions: %d, backoff waits: %d\n"
+        fallbacks backoffs;
+    let structural =
+      count E.split + count E.merge + count E.root_swap
+    in
+    if structural > 0 then
+      Printf.printf "structural: %d splits, %d merges, %d root swaps\n"
+        (count E.split) (count E.merge) (count E.root_swap);
+    (* in-flight ops: begins without a matching end in the window *)
+    let in_flight = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let bump k d =
+          Hashtbl.replace in_flight k
+            (d + Option.value ~default:0 (Hashtbl.find_opt in_flight k))
+        in
+        if e.F.tag = E.op_begin then bump (e.F.dom, e.F.a) 1
+        else if e.F.tag = E.op_end then bump (e.F.dom, e.F.a) (-1))
+      events;
+    let pending =
+      Hashtbl.fold (fun k n acc -> if n > 0 then (k, n) :: acc else acc)
+        in_flight []
+      |> List.sort compare
+    in
+    if pending <> [] then begin
+      Printf.printf "\nin-flight at dump (begin without end in window):\n";
+      List.iter
+        (fun ((dom, kind), n) ->
+          Printf.printf "  dom %d: %d x %s\n" dom n (E.op_name kind))
+        pending
+    end;
+    (* spans (recovery phases etc.) *)
+    let spans = List.filter (fun e -> e.F.tag = E.span) events in
+    if spans <> [] then begin
+      let name_arr = Array.of_list names in
+      Printf.printf "\nspans:\n";
+      List.iter
+        (fun e ->
+          let nm =
+            if e.F.a >= 0 && e.F.a < Array.length name_arr then name_arr.(e.F.a)
+            else "span_" ^ string_of_int e.F.a
+          in
+          Printf.printf "  %-34s %10d us  dom %d\n" nm e.F.b e.F.dom)
+        spans
+    end
+  in
+  let dump_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DUMP"
+          ~doc:"a JSON flight dump written by --flight-dump")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "summarize a flight-recorder dump: per-op latency percentiles, HTM \
+          abort attribution by reason and descent depth, top contended \
+          nodes, serialization pressure, in-flight ops at dump time")
+    Term.(const run $ dump_arg)
+
 (* ---- pmcheck: analyze a saved persistence trace ---- *)
 
 let pmcheck_cmd =
@@ -313,7 +514,8 @@ let pmcheck_cmd =
 (* ---- fsck: offline structural audit / salvage ---- *)
 
 let fsck_cmd =
-  let run path repair quiet =
+  let run path repair quiet flight =
+    with_flight flight @@ fun () ->
     let region = load_region path in
     let report = or_die (fun () -> Fsck.check ~repair region) in
     (* of_region log replay and repair actions both mutate the image *)
@@ -345,12 +547,13 @@ let fsck_cmd =
          "audit a tree image: cross-check the linked leaf list against the \
           allocator (orphans, leaks, dangling and double links, corrupt \
           leaves); exits 2 if unrepaired errors remain")
-    Term.(const run $ path_arg $ repair $ quiet)
+    Term.(const run $ path_arg $ repair $ quiet $ flight_arg)
 
 (* ---- chaos: randomized crash-recover-verify loops ---- *)
 
 let chaos_cmd =
-  let run seed iterations ops checksums concurrent =
+  let run seed iterations ops checksums concurrent flight =
+    with_flight flight @@ fun () ->
     let base =
       if concurrent then Fptree.Tree.fptree_concurrent_config
       else Fptree.Tree.fptree_config
@@ -392,8 +595,9 @@ let chaos_cmd =
        ~doc:
          "seeded randomized crash-recover-verify loop against an in-DRAM \
           oracle (mixed clean restarts, crashes, torn stores, allocation \
-          failures); exits 2 on any divergence")
-    Term.(const run $ seed $ iterations $ ops $ checksums $ concurrent)
+          failures); exits 2 on any divergence (the divergence report \
+          names the $(b,--flight-dump) file when one is configured)")
+    Term.(const run $ seed $ iterations $ ops $ checksums $ concurrent $ flight_arg)
 
 (* ---- corrupt: deterministic damage injection (fsck's test subject) ---- *)
 
@@ -455,4 +659,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd;
-            metrics_cmd; pmcheck_cmd; fsck_cmd; chaos_cmd; corrupt_cmd ]))
+            metrics_cmd; trace_cmd; pmcheck_cmd; fsck_cmd; chaos_cmd;
+            corrupt_cmd ]))

@@ -53,7 +53,16 @@ and 'k inner = {
   keys : 'k array;           (* capacity fanout - 1; slots >= nkeys are junk *)
   children : 'k node array;  (* capacity fanout; nkeys + 1 children in use *)
   ver : Nv.cell;             (* this node's version word *)
+  id : int;
+      (* Stable negative identity for abort attribution (the flight
+         recorder's htm_abort events name the failing node).  Leaves
+         are identified by their non-negative SCM offset and the root
+         pointer cell by 0, so inner ids draw from a process-wide
+         negative sequence — disjoint from both by construction. *)
 }
+
+let inner_id_seq = Atomic.make 0
+let fresh_inner_id () = -(1 + Atomic.fetch_and_add inner_id_seq 1)
 
 type 'k t = {
   fanout : int;
@@ -76,6 +85,7 @@ let make_inner t =
     keys = Array.make (t.fanout - 1) t.dummy_key;
     children = Array.make t.fanout (Leaf (leaf_ref (-1)));
     ver = Nv.fresh ();
+    id = fresh_inner_id ();
   }
 
 let create ~fanout ~dummy_key first_leaf =
@@ -115,7 +125,7 @@ let rec find_node_rs rs cmp node key =
   match node with
   | Leaf l -> l
   | Inner n ->
-    Nv.observe rs n.ver;
+    Nv.observe_id rs n.ver n.id;
     find_node_rs rs cmp n.children.(child_index cmp n key) key
 
 (** {!find_leaf} for optimistic readers: observes [t.root_ver] before
@@ -125,7 +135,7 @@ let rec find_node_rs rs cmp node key =
     from under it.  Allocation-free.
     @raise Nv.Conflict when a writer is inside a node on the path. *)
 let find_leaf_rs rs cmp t key =
-  Nv.observe rs t.root_ver;
+  Nv.observe_id rs t.root_ver 0;
   find_node_rs rs cmp t.root key
 
 let rec rightmost_leaf = function
@@ -139,7 +149,7 @@ let rec leftmost_leaf = function
 let rec rightmost_leaf_rs rs = function
   | Leaf l -> l
   | Inner n ->
-    Nv.observe rs n.ver;
+    Nv.observe_id rs n.ver n.id;
     rightmost_leaf_rs rs n.children.(n.nkeys)
 
 (** Descend to the leaf for [key] and also return the leaf immediately
@@ -162,12 +172,12 @@ let find_leaf_and_prev_rs rs cmp t key =
     match node with
     | Leaf l -> (l, Option.map (rightmost_leaf_rs rs) left)
     | Inner n ->
-      Nv.observe rs n.ver;
+      Nv.observe_id rs n.ver n.id;
       let i = child_index cmp n key in
       let left = if i > 0 then Some n.children.(i - 1) else left in
       go n.children.(i) left
   in
-  Nv.observe rs t.root_ver;
+  Nv.observe_id rs t.root_ver 0;
   go t.root None
 
 (* ---- structural updates (run under the writer lock) ---- *)
@@ -260,7 +270,8 @@ let update_parents t cmp ~sep ~right =
     Nv.begin_write t.root_ver;
     t.root <- Inner root;
     Nv.end_write t.root_ver;
-    Nv.end_write c.ver
+    Nv.end_write c.ver;
+    if Obs.Gate.enabled () then Obs.Flight.root_swap ~dir:Obs.Flight.root_grow
 
 let remove_at n pos =
   (* Remove children.(pos) and the separator adjacent to it. *)
@@ -324,7 +335,12 @@ let remove_leaf t cmp key =
      invalidates any reader still holding the stale pointer.) *)
   match t.root with
   | Inner n when n.nkeys = 0 -> (
-    match n.children.(0) with Inner _ as c -> t.root <- c | Leaf _ -> ())
+    match n.children.(0) with
+    | Inner _ as c ->
+      t.root <- c;
+      if Obs.Gate.enabled () then
+        Obs.Flight.root_swap ~dir:Obs.Flight.root_collapse
+    | Leaf _ -> ())
   | _ -> ()
 
 (* ---- bulk rebuild (recovery, Algorithm 9 / RebuildInnerNodes) ---- *)

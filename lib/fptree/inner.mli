@@ -27,6 +27,10 @@ and 'k inner = {
   keys : 'k array;
   children : 'k node array;
   ver : Htm.Node_versions.cell;  (** this node's version word *)
+  id : int;
+      (** stable negative identity for abort attribution (flight
+          recorder); leaves are identified by their non-negative SCM
+          offset and the root pointer cell by 0 *)
 }
 
 type 'k t = {

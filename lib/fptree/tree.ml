@@ -710,6 +710,8 @@ module Make (K : Keys.KEY) = struct
     if instrumented then
       Obs.Histogram.record Metrics.split_us
         (int_of_float (Obs.Trace.now_us () -. t0));
+    if Obs.Gate.enabled () then
+      Obs.Flight.split ~left:leaf.Inner.off ~right:fresh;
     (sep, Inner.leaf_ref fresh)
 
   let recover_split t log =
@@ -745,6 +747,9 @@ module Make (K : Keys.KEY) = struct
 
   let delete_leaf t (leaf : Inner.leaf_ref) (prev : Inner.leaf_ref option) =
     if stats_on () then t.stats.leaf_deletes <- t.stats.leaf_deletes + 1;
+    if Obs.Gate.enabled () then
+      Obs.Flight.merge ~leaf:leaf.Inner.off
+        ~prev:(match prev with Some p -> p.Inner.off | None -> -1);
     let log = Microlog.Pool.acquire t.delete_logs in
     let lp = pptr_of t leaf.Inner.off in
     Microlog.set_fst log lp;
@@ -818,6 +823,21 @@ module Make (K : Keys.KEY) = struct
      Path validation alone pins the leaf's identity: once [try_lock]
      succeeds no writer is inside the leaf, and any split or removal
      of it before that bumped an observed ancestor. *)
+
+  (* Attribute the precise-conflict abort that just failed this
+     domain's optimistic section to the failing node: its identity and
+     descent depth are read back from the domain's read set
+     ([Nv.current]/[Nv.failure]) before the next attempt's
+     [Nv.scratch] wipes the evidence.  Emitted here rather than in
+     [Speculative_lock] because only the tree knows the read set; the
+     other abort reasons (global, explicit) are emitted unattributed
+     by the lock's counters. *)
+  let note_precise_abort () =
+    if Obs.Gate.enabled () then begin
+      let node, depth = Nv.failure (Nv.current ()) in
+      Obs.Flight.htm_abort ~reason:Obs.Event.abort_precise ~node ~depth
+    end
+
   let rec lock_attempt t k attempt =
     if attempt >= Spec.retry_threshold t.spec then lock_leaf_fallback t k
     else
@@ -840,7 +860,10 @@ module Make (K : Keys.KEY) = struct
           (* Leaf lock held: precise conflict if a writer invalidated
              our path, else the explicit-XABORT bucket (same taxonomy
              as [with_txn]). *)
-          if not (Nv.validate rs) then Spec.note_precise_conflict t.spec
+          if not (Nv.validate rs) then begin
+            Spec.note_precise_conflict t.spec;
+            note_precise_abort ()
+          end
           else Spec.note_explicit_abort t.spec;
           Spec.note_abort t.spec;
           Spec.backoff t.spec attempt;
@@ -849,6 +872,7 @@ module Make (K : Keys.KEY) = struct
 
   and lock_retry_conflict t k attempt =
     Spec.note_precise_conflict t.spec;
+    note_precise_abort ();
     Spec.note_abort t.spec;
     Spec.backoff t.spec attempt;
     lock_attempt t k (attempt + 1)
@@ -900,7 +924,7 @@ module Make (K : Keys.KEY) = struct
            writer opens a phase before its first store, so a quiescent
            observation here plus validation after the probe brackets
            the reads exactly like TSX read-set tracking would. *)
-        match Nv.observe rs leaf.Inner.ver with
+        match Nv.observe_id rs leaf.Inner.ver leaf.Inner.off with
         | exception Nv.Conflict -> find_retry_conflict t k h attempt
         | () -> (
           match find_slot t leaf.Inner.off k h with
@@ -919,6 +943,7 @@ module Make (K : Keys.KEY) = struct
 
   and find_retry_conflict t k h attempt =
     Spec.note_precise_conflict t.spec;
+    note_precise_abort ();
     Spec.note_abort t.spec;
     Spec.backoff t.spec attempt;
     find_attempt t k h (attempt + 1)
@@ -974,11 +999,62 @@ module Make (K : Keys.KEY) = struct
         end
     end
 
+  (* Bracket [f ()] (returning success as bool) with flight-recorder
+     op begin/end events.  Only reached with the gate on: the gate-off
+     entry points below stay direct calls, so the allocation-free hot
+     paths are untouched when the recorder is off. *)
+  let flight_op op key f =
+    let t0 = Obs.Flight.op_begin ~op ~key in
+    match f () with
+    | ok ->
+      ignore (Obs.Flight.op_end ~op ~key ~t0 ~ok);
+      ok
+    | exception e ->
+      ignore (Obs.Flight.op_end ~op ~key ~t0 ~ok:false);
+      raise e
+
+  (* A monotonic-clock read costs ~23 ns on this host even on the TSC
+     fast path, so the begin/end pair (two reads) cannot fit the find
+     path's pinned 10% tracing budget.  The traced find therefore
+     emits one completed-op marker per call (one clock read, latency
+     sentinel -1) and takes the full measured pair on a ~1/16 sample —
+     every find still lands in the event stream, percentiles come from
+     the sample.  The tick is plain-mutable on purpose: cross-domain
+     races only perturb the sampling phase, never memory safety. *)
+  let find_sample_tick = ref 0
+
   (** [find_value_exn t k] is the raw hot-path lookup: the value bound
       to [k], or @raise Not_found.  Allocation-free in fast mode. *)
   let find_value_exn t k =
     if stats_on () then t.stats.finds <- t.stats.finds + 1;
-    find_attempt t k (K.fingerprint k) 0
+    if not (Obs.Gate.enabled ()) then find_attempt t k (K.fingerprint k) 0
+    else begin
+      let h = K.fingerprint k in
+      let s = !find_sample_tick + 1 in
+      find_sample_tick := s;
+      if s land 15 = 0 then begin
+        (* sampled: begin/end pair, measured latency; the pair also
+           keeps "find in flight" visible in crash dumps *)
+        let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_find ~key:h in
+        match find_attempt t k h 0 with
+        | v ->
+          ignore
+            (Obs.Flight.op_end ~op:Obs.Event.op_find ~key:h ~t0 ~ok:true);
+          v
+        | exception Not_found ->
+          ignore
+            (Obs.Flight.op_end ~op:Obs.Event.op_find ~key:h ~t0 ~ok:false);
+          raise Not_found
+      end
+      else
+        match find_attempt t k h 0 with
+        | v ->
+          Obs.Flight.op_mark ~op:Obs.Event.op_find ~key:h ~ok:true;
+          v
+        | exception Not_found ->
+          Obs.Flight.op_mark ~op:Obs.Event.op_find ~key:h ~ok:false;
+          raise Not_found
+    end
 
   (** [find_value t ~default k]: like {!find_value_exn} but total;
       allocation-free in fast mode. *)
@@ -1052,8 +1128,14 @@ module Make (K : Keys.KEY) = struct
     end
 
   let insert t k v =
-    if Scm.Pmtrace.enabled () then scoped "insert" (fun () -> insert_op t k v)
-    else insert_op t k v
+    if not (Obs.Gate.enabled ()) then
+      if Scm.Pmtrace.enabled () then scoped "insert" (fun () -> insert_op t k v)
+      else insert_op t k v
+    else
+      flight_op Obs.Event.op_insert (K.fingerprint k) (fun () ->
+          if Scm.Pmtrace.enabled () then
+            scoped "insert" (fun () -> insert_op t k v)
+          else insert_op t k v)
 
   let update_op t k v =
     if stats_on () then t.stats.updates <- t.stats.updates + 1;
@@ -1118,8 +1200,14 @@ module Make (K : Keys.KEY) = struct
     end
 
   let update t k v =
-    if Scm.Pmtrace.enabled () then scoped "update" (fun () -> update_op t k v)
-    else update_op t k v
+    if not (Obs.Gate.enabled ()) then
+      if Scm.Pmtrace.enabled () then scoped "update" (fun () -> update_op t k v)
+      else update_op t k v
+    else
+      flight_op Obs.Event.op_update (K.fingerprint k) (fun () ->
+          if Scm.Pmtrace.enabled () then
+            scoped "update" (fun () -> update_op t k v)
+          else update_op t k v)
 
   type delete_decision =
     | Del_in_leaf of Inner.leaf_ref
@@ -1145,7 +1233,10 @@ module Make (K : Keys.KEY) = struct
         if Nv.validate rs then raise e else delete_retry t k h attempt
       | leaf, prev ->
         if not (try_lock t leaf) then begin
-          if not (Nv.validate rs) then Spec.note_precise_conflict t.spec
+          if not (Nv.validate rs) then begin
+            Spec.note_precise_conflict t.spec;
+            note_precise_abort ()
+          end
           else Spec.note_explicit_abort t.spec;
           Spec.note_abort t.spec;
           Spec.backoff t.spec attempt;
@@ -1187,6 +1278,7 @@ module Make (K : Keys.KEY) = struct
 
   and delete_retry t k h attempt =
     Spec.note_precise_conflict t.spec;
+    note_precise_abort ();
     Spec.note_abort t.spec;
     Spec.backoff t.spec attempt;
     delete_decide t k h (attempt + 1)
@@ -1283,8 +1375,14 @@ module Make (K : Keys.KEY) = struct
       true
 
   let delete t k =
-    if Scm.Pmtrace.enabled () then scoped "delete" (fun () -> delete_op t k)
-    else delete_op t k
+    if not (Obs.Gate.enabled ()) then
+      if Scm.Pmtrace.enabled () then scoped "delete" (fun () -> delete_op t k)
+      else delete_op t k
+    else
+      flight_op Obs.Event.op_delete (K.fingerprint k) (fun () ->
+          if Scm.Pmtrace.enabled () then
+            scoped "delete" (fun () -> delete_op t k)
+          else delete_op t k)
 
   (** Inclusive range scan via the leaf linked list.  Reads are dirty
       (no leaf locks taken); the result is sorted.  The leaf chain is
@@ -1319,11 +1417,12 @@ module Make (K : Keys.KEY) = struct
 
   and range_start_retry t lo attempt =
     Spec.note_precise_conflict t.spec;
+    note_precise_abort ();
     Spec.note_abort t.spec;
     Spec.backoff t.spec attempt;
     range_start t lo (attempt + 1)
 
-  let range t ~lo ~hi =
+  let range_op t ~lo ~hi =
     if K.compare lo hi > 0 then []
     else begin
       let start = range_start t lo 0 in
@@ -1382,6 +1481,20 @@ module Make (K : Keys.KEY) = struct
         if i < 0 then acc else build (i - 1) ((ks.(i), vs.(i)) :: acc)
       in
       build (!len - 1) []
+    end
+
+  let range t ~lo ~hi =
+    if not (Obs.Gate.enabled ()) then range_op t ~lo ~hi
+    else begin
+      let key = K.fingerprint lo in
+      let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_range ~key in
+      match range_op t ~lo ~hi with
+      | r ->
+        ignore (Obs.Flight.op_end ~op:Obs.Event.op_range ~key ~t0 ~ok:true);
+        r
+      | exception e ->
+        ignore (Obs.Flight.op_end ~op:Obs.Event.op_range ~key ~t0 ~ok:false);
+        raise e
     end
 
   (* ---- iteration / introspection ---- *)

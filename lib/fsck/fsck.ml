@@ -320,10 +320,22 @@ let check ?(repair = false) region =
       blocks = Hashtbl.create 256 }
   in
   let chain_leaves, keys = audit ctx in
-  {
-    findings = List.rev ctx.findings;
-    blocks = Hashtbl.length ctx.blocks;
-    chain_leaves;
-    keys;
-    repairs = ctx.repairs;
-  }
+  let report =
+    {
+      findings = List.rev ctx.findings;
+      blocks = Hashtbl.length ctx.blocks;
+      chain_leaves;
+      keys;
+      repairs = ctx.repairs;
+    }
+  in
+  (* Structural corruption is a failure-detection point like a chaos
+     divergence: when unrepaired errors remain and a crash-dump path is
+     configured, persist the flight recorder alongside the report. *)
+  (match errors report with
+  | [] -> ()
+  | errs ->
+    ignore
+      (Obs.Flight.crash_dump
+         ~reason:(Printf.sprintf "fsck: %d unrepaired errors" (List.length errs))));
+  report

@@ -70,7 +70,16 @@ let[@inline] end_write (c : cell) =
 type readset = {
   mutable rs_cells : cell array;
   mutable rs_vers : int array;
+  mutable rs_ids : int array;
+      (** caller-chosen node identities, parallel to [rs_cells]; only
+          read when attributing a failed section (flight recorder) *)
   mutable rs_n : int;
+  mutable rs_busy_id : int;
+  mutable rs_busy : bool;
+      (** true when the section's last abort came from {!observe}
+          finding a busy cell (identity in [rs_busy_id]); false when
+          it came from a failed {!validate} (identity recovered by
+          scanning, see {!failure}) *)
 }
 
 (* Shared inert filler for unused capacity; never observed. *)
@@ -84,7 +93,10 @@ let rs_key =
       {
         rs_cells = Array.make 16 dummy_cell;
         rs_vers = Array.make 16 0;
+        rs_ids = Array.make 16 0;
         rs_n = 0;
+        rs_busy_id = 0;
+        rs_busy = false;
       })
 
 (** The calling domain's read-set buffer, emptied.  Allocates only on
@@ -92,28 +104,73 @@ let rs_key =
 let scratch () =
   let rs = Domain.DLS.get rs_key in
   rs.rs_n <- 0;
+  rs.rs_busy <- false;
   rs
+
+(** The calling domain's read-set buffer {e as left by the previous
+    section} — not emptied.  Retry handlers use this to attribute the
+    abort that just happened ({!failure}) before the next attempt's
+    {!scratch} wipes the evidence.  Same one-section-per-domain
+    constraint as {!scratch}. *)
+let current () = Domain.DLS.get rs_key
 
 let grow rs =
   let n = Array.length rs.rs_cells in
-  let s = Array.make (2 * n) dummy_cell and v = Array.make (2 * n) 0 in
+  let s = Array.make (2 * n) dummy_cell
+  and v = Array.make (2 * n) 0
+  and ids = Array.make (2 * n) 0 in
   Array.blit rs.rs_cells 0 s 0 n;
   Array.blit rs.rs_vers 0 v 0 n;
+  Array.blit rs.rs_ids 0 ids 0 n;
   rs.rs_cells <- s;
-  rs.rs_vers <- v
+  rs.rs_vers <- v;
+  rs.rs_ids <- ids
 
-let[@inline] record rs c v =
+let[@inline] record rs c v id =
   if rs.rs_n = Array.length rs.rs_cells then grow rs;
   Array.unsafe_set rs.rs_cells rs.rs_n c;
   Array.unsafe_set rs.rs_vers rs.rs_n v;
+  Array.unsafe_set rs.rs_ids rs.rs_n id;
   rs.rs_n <- rs.rs_n + 1
 
-(** Add [c] to the read set.
+(** Add [c] to the read set under node identity [id] (the tree's
+    convention: 0 = root pointer cell, > 0 = leaf SCM offset, < 0 =
+    DRAM inner-node id).  The identity costs one extra array store on
+    the hot path and is only read back on aborts.
     @raise Conflict if a writer is inside a phase on [c]. *)
-let[@inline] observe rs (c : cell) =
+let[@inline] observe_id rs (c : cell) id =
   let v = Atomic.get c in
-  if v land count_mask <> 0 then raise Conflict;
-  record rs c v
+  if v land count_mask <> 0 then begin
+    rs.rs_busy <- true;
+    rs.rs_busy_id <- id;
+    raise Conflict
+  end;
+  record rs c v id
+
+(** {!observe_id} with an anonymous identity (callers that do not
+    participate in abort attribution). *)
+let[@inline] observe rs (c : cell) = observe_id rs c 0
+
+(** Attribute the abort that ended the section recorded in [rs]:
+    [(node identity, descent depth)] of the failing cell.  For a busy
+    cell the observe path stored both directly; for a validation
+    failure the first moved cell is found by rescanning — version
+    words only ever grow, so the failing entry is still detectable.
+    Returns identity -1 when nothing is attributable (no moved cell:
+    not called after an actual failure). *)
+let failure rs =
+  if rs.rs_busy then (rs.rs_busy_id, rs.rs_n)
+  else begin
+    let rec scan i =
+      if i >= rs.rs_n then (-1, rs.rs_n)
+      else if
+        Atomic.get (Array.unsafe_get rs.rs_cells i)
+        <> Array.unsafe_get rs.rs_vers i
+      then (Array.unsafe_get rs.rs_ids i, i)
+      else scan (i + 1)
+    in
+    scan 0
+  end
 
 (** [true] iff no recorded cell's version moved: everything this
     transaction read is still current, so its result is a consistent

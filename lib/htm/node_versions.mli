@@ -47,6 +47,29 @@ val observe : readset -> cell -> unit
 (** Record a cell's current version into the read set.
     @raise Conflict if the cell is busy. *)
 
+val observe_id : readset -> cell -> int -> unit
+(** [observe] plus a caller-chosen node identity stored alongside the
+    entry (tree convention: 0 = root pointer cell, > 0 = leaf SCM
+    offset, < 0 = DRAM inner-node id).  The identity is only read back
+    by {!failure} when attributing an abort; on the success path it
+    costs one extra array store.
+    @raise Conflict if the cell is busy. *)
+
 val validate : readset -> bool
 (** [true] iff no recorded cell moved since it was observed.
     Allocation-free. *)
+
+(** {1 Abort attribution (flight recorder)} *)
+
+val current : unit -> readset
+(** The calling domain's read-set buffer as left by the section that
+    just failed — {e not} emptied (unlike {!scratch}).  Retry handlers
+    call this to feed {!failure} before the next attempt's [scratch]
+    resets the buffer.  Same one-section-per-domain constraint as
+    {!scratch}. *)
+
+val failure : readset -> int * int
+(** [(node identity, descent depth)] of the cell that failed the
+    section: the busy cell {!observe_id} aborted on, or the first
+    recorded cell whose version moved ({!validate} failure).  Identity
+    -1 when nothing is attributable. *)

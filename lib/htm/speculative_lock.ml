@@ -116,13 +116,23 @@ let create ?(retry_threshold = 8) ?(backoff_ceiling = 1024) () =
     backoff_waits = Obs.Counter.make ();
   }
 
+(* Flight-recorder wiring: global-conflict, explicit and fallback
+   events are emitted here (the single choke point for every caller,
+   including [with_txn] and the baselines); precise conflicts are NOT
+   emitted here — the tree's retry handlers emit them with the failing
+   node's identity and descent depth ([Node_versions.failure]), which
+   this module cannot know.  Emitting both here and there would double
+   count. *)
+
 let[@inline] count_abort t =
   Obs.Counter.incr t.aborts;
   Obs.Counter.incr g_aborts
 
 let[@inline] count_conflict t =
   Obs.Counter.incr t.conflicts;
-  Obs.Counter.incr g_conflicts
+  Obs.Counter.incr g_conflicts;
+  if Obs.Gate.enabled () then
+    Obs.Flight.htm_abort ~reason:Obs.Event.abort_global ~node:(-1) ~depth:(-1)
 
 let[@inline] count_precise_conflict t =
   Obs.Counter.incr t.precise_conflicts;
@@ -130,11 +140,15 @@ let[@inline] count_precise_conflict t =
 
 let[@inline] count_explicit t =
   Obs.Counter.incr t.explicit_aborts;
-  Obs.Counter.incr g_explicit
+  Obs.Counter.incr g_explicit;
+  if Obs.Gate.enabled () then
+    Obs.Flight.htm_abort ~reason:Obs.Event.abort_explicit ~node:(-1)
+      ~depth:(-1)
 
 let[@inline] count_fallback t =
   Obs.Counter.incr t.fallbacks;
-  Obs.Counter.incr g_fallbacks
+  Obs.Counter.incr g_fallbacks;
+  if Obs.Gate.enabled () then Obs.Flight.fallback_lock ()
 
 type 'a outcome = Commit of 'a | Abort
 (** What the transaction body decides: [Abort] is an explicit XABORT
@@ -165,6 +179,8 @@ let backoff t attempt =
   let h = (s lxor (s lsr 29)) * 0x3F58476D1CE4E5B9 in
   let h = h lxor (h lsr 32) in
   let jitter = (h land max_int) mod (spins + 1) in
+  if Obs.Gate.enabled () then
+    Obs.Flight.backoff_wait ~attempt ~spins:(spins + jitter);
   for _ = 1 to spins + jitter do
     cpu_relax ()
   done

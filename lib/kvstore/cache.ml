@@ -29,6 +29,13 @@ type t = {
   global_lock : Mutex.t option; (* Some for non-concurrent indexes *)
   hits : int Atomic.t;
   misses : int Atomic.t;
+  mutable gate_w : int;
+      (* Cached [Obs.Gate] witness (generation + decision), refreshed
+         only when the gate's generation moves.  0 = before the
+         initial generation, i.e. always stale, forcing the first
+         refresh.  Un-synchronized word-sized writes are a benign
+         race: every racing refresh installs a current-generation
+         witness (same argument as [Scm.Region]'s mode witness). *)
 }
 
 let create index =
@@ -40,7 +47,24 @@ let create index =
     global_lock = (if index.Tree_ops.concurrent then None else Some (Mutex.create ()));
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    gate_w = 0;
   }
+
+(* The generation-witness fast path [Obs.Gate] documents: one field
+   load + one generation compare per op instead of re-deriving the
+   decision, refreshed only across [set_enabled] flips. *)
+let[@inline] observing t =
+  let w = t.gate_w in
+  if Obs.Gate.check w then Obs.Gate.decision w
+  else begin
+    let w' = Obs.Gate.cached_witness () in
+    t.gate_w <- w';
+    Obs.Gate.decision w'
+  end
+
+(* Key fingerprint for flight-recorder events: any stable small hash
+   will do, the events only need to correlate ops on the same key. *)
+let[@inline] key_fp key = Hashtbl.hash key
 
 let with_global t f =
   match t.global_lock with
@@ -71,46 +95,65 @@ let store_item t value =
 
 (** SET: insert or overwrite. *)
 let set t key value =
-  if not (Obs.Gate.enabled ()) then begin
+  if not (observing t) then begin
     let id = store_item t value in
     with_global t (fun () ->
         if not (t.index.Tree_ops.insert key id) then
           ignore (t.index.Tree_ops.update key id))
   end
   else begin
-    let t0 = Obs.Trace.now_us () in
+    let fp = key_fp key in
+    let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_set ~key:fp in
     let id = store_item t value in
     with_global t (fun () ->
         if not (t.index.Tree_ops.insert key id) then
           ignore (t.index.Tree_ops.update key id));
-    Obs.Histogram.record h_set_us (int_of_float (Obs.Trace.now_us () -. t0))
+    let dur = Obs.Flight.op_end ~op:Obs.Event.op_set ~key:fp ~t0 ~ok:true in
+    Obs.Histogram.record h_set_us dur
   end
 
 (** GET. *)
 let get t key =
-  let t0 = if Obs.Gate.enabled () then Obs.Trace.now_us () else 0. in
-  let r = with_global t (fun () -> t.index.Tree_ops.find key) in
-  let r =
-    match r with
+  if not (observing t) then begin
+    match with_global t (fun () -> t.index.Tree_ops.find key) with
     | Some id ->
       Atomic.incr t.hits;
       Some (Atomic.get t.items).(id)
     | None ->
       Atomic.incr t.misses;
       None
-  in
-  if t0 > 0. then
-    Obs.Histogram.record h_get_us (int_of_float (Obs.Trace.now_us () -. t0));
-  r
+  end
+  else begin
+    let fp = key_fp key in
+    let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_get ~key:fp in
+    let r = with_global t (fun () -> t.index.Tree_ops.find key) in
+    let r =
+      match r with
+      | Some id ->
+        Atomic.incr t.hits;
+        Some (Atomic.get t.items).(id)
+      | None ->
+        Atomic.incr t.misses;
+        None
+    in
+    let dur =
+      Obs.Flight.op_end ~op:Obs.Event.op_get ~key:fp ~t0 ~ok:(r <> None)
+    in
+    Obs.Histogram.record h_get_us dur;
+    r
+  end
 
 let delete t key =
-  if not (Obs.Gate.enabled ()) then
+  if not (observing t) then
     with_global t (fun () -> t.index.Tree_ops.delete key)
   else begin
-    let t0 = Obs.Trace.now_us () in
+    let fp = key_fp key in
+    let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_kv_delete ~key:fp in
     let r = with_global t (fun () -> t.index.Tree_ops.delete key) in
-    Obs.Histogram.record h_delete_us
-      (int_of_float (Obs.Trace.now_us () -. t0));
+    let dur =
+      Obs.Flight.op_end ~op:Obs.Event.op_kv_delete ~key:fp ~t0 ~ok:r
+    in
+    Obs.Histogram.record h_delete_us dur;
     r
   end
 

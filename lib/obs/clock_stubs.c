@@ -1,0 +1,146 @@
+/* Monotonic clock for span timestamps and flight-recorder events.
+ *
+ * Unix.gettimeofday is wall-clock time: NTP steps move it backwards,
+ * which corrupts span durations and event ordering.  CLOCK_MONOTONIC
+ * never goes backwards, which is the only property timestamps and
+ * latency deltas need.  The value is returned as a tagged OCaml int
+ * (nanoseconds since an arbitrary epoch): a 63-bit int holds ~146
+ * years of nanoseconds, and returning an immediate keeps the caller
+ * allocation-free — the flight recorder's write path timestamps every
+ * event.  Same stub family as lib/scm/cputime_stubs.c.
+ *
+ * obs_monotonic_us_fast is the flight recorder's per-event clock.
+ * clock_gettime costs ~30 ns on this container, and two reads per
+ * traced op (begin timestamp + end timestamp/latency) blow the
+ * recorder's 10%% overhead budget on the find path.  On x86-64 with
+ * an invariant TSC the fast path reads rdtsc (~10 ns including the
+ * OCaml C-call) and converts with a scale calibrated once against
+ * CLOCK_MONOTONIC over a >=10 ms window, so it stays on the
+ * monotonic timeline (NTP rate-slew drift vs MONOTONIC is bounded by
+ * ~500 ppm — microseconds per second, irrelevant at event-timestamp
+ * granularity).  A per-thread floor makes each thread's reads
+ * nondecreasing even across core migration.  Everywhere else
+ * (non-x86, no invariant TSC, calibration still warming up) it
+ * degrades to CLOCK_MONOTONIC / 1000.
+ */
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  return Val_long(-1);
+}
+
+CAMLprim value obs_monotonic_us_fast(value unit)
+{
+  (void)unit;
+  return Val_long(-1);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return Val_long(-1);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+#else
+  return Val_long(-1);
+#endif
+}
+
+#if defined(__x86_64__) && defined(CLOCK_MONOTONIC)
+
+#include <x86intrin.h>
+#include <cpuid.h>
+
+/* Calibration state.  tsc_state: 0 = unstarted, 2 = base pair being
+ * written, 1 = base pair valid (never rewritten afterwards), -1 = TSC
+ * unusable (no invariant-TSC CPUID bit: permanent clock_gettime
+ * path).  tsc_locked flips to 1 (release) once tsc_scale is computed;
+ * concurrent lockers may both store a scale, but both derive it from
+ * the same immutable base pair over >=10 ms, so either value is
+ * correct. */
+static long long tsc_base;
+static long ns_base;
+static double tsc_scale; /* ns per tick */
+static int tsc_state;
+static int tsc_locked;
+
+static int tsc_invariant(void)
+{
+  unsigned eax, ebx, ecx, edx;
+  if (__get_cpuid_max(0x80000000u, 0) < 0x80000007u)
+    return 0;
+  __cpuid(0x80000007u, eax, ebx, ecx, edx);
+  return (edx >> 8) & 1;
+}
+
+CAMLprim value obs_monotonic_us_fast(value unit)
+{
+  static __thread long floor_us;
+  long us;
+  (void)unit;
+  if (__atomic_load_n(&tsc_locked, __ATOMIC_ACQUIRE)) {
+    long long t = (long long)__rdtsc();
+    us = (long)(((double)ns_base + (double)(t - tsc_base) * tsc_scale)
+                * 1e-3);
+  } else {
+    struct timespec ts;
+    long ns;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+      return Val_long(-1);
+    ns = (long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec;
+    int st = __atomic_load_n(&tsc_state, __ATOMIC_ACQUIRE);
+    if (st == 0) {
+      int expected = 0;
+      if (__atomic_compare_exchange_n(&tsc_state, &expected, 2, 0,
+                                      __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE)) {
+        if (tsc_invariant()) {
+          tsc_base = (long long)__rdtsc();
+          ns_base = ns;
+          __atomic_store_n(&tsc_state, 1, __ATOMIC_RELEASE);
+        } else
+          __atomic_store_n(&tsc_state, -1, __ATOMIC_RELEASE);
+      }
+    } else if (st == 1 && ns - ns_base >= 10000000L) {
+      long long t = (long long)__rdtsc();
+      if (t > tsc_base) {
+        tsc_scale = (double)(ns - ns_base) / (double)(t - tsc_base);
+        __atomic_store_n(&tsc_locked, 1, __ATOMIC_RELEASE);
+      }
+    }
+    us = ns / 1000;
+  }
+  if (us < floor_us)
+    us = floor_us;
+  else
+    floor_us = us;
+  return Val_long(us);
+}
+
+#else /* portable fallback: one clock_gettime, scaled to us */
+
+CAMLprim value obs_monotonic_us_fast(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return Val_long(-1);
+  return Val_long((long)ts.tv_sec * 1000000L + (long)ts.tv_nsec / 1000L);
+#else
+  return Val_long(-1);
+#endif
+}
+
+#endif
+
+#endif

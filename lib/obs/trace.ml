@@ -9,12 +9,15 @@
 
 type span = {
   name : string;
-  start_us : float;  (** [Unix.gettimeofday]-based, microseconds *)
+  start_us : float;  (** monotonic ({!Clock.now_us}), microseconds *)
   dur_us : float;
   domain : int;
 }
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(** Monotonic microseconds ({!Clock.now_us}): span starts are relative
+    to an arbitrary epoch, but durations and ordering are immune to
+    the wall clock stepping backwards under NTP. *)
+let now_us = Clock.now_us
 
 let capacity = 4096
 
@@ -33,11 +36,16 @@ let record ~name ~start_us ~dur_us =
   Mutex.lock ring.lock;
   ring.buf.(ring.next mod capacity) <- Some s;
   ring.next <- ring.next + 1;
-  Mutex.unlock ring.lock
+  Mutex.unlock ring.lock;
+  (* Mirror the span into the flight recorder so a crash dump carries
+     recovery phases alongside per-op events. *)
+  if Gate.enabled () then
+    Flight.span ~name ~start_us:(int_of_float start_us)
+      ~dur_us:(int_of_float dur_us)
 
-(** Run [f] and record its wall-clock duration as a span named [name].
-    Always records: intended for cold paths (recovery, restart); warm
-    call sites gate on {!Gate.enabled} themselves. *)
+(** Run [f] and record its duration as a span named [name].  Always
+    records: intended for cold paths (recovery, restart); warm call
+    sites gate on {!Gate.enabled} themselves. *)
 let with_span name f =
   let t0 = now_us () in
   match f () with

@@ -26,7 +26,21 @@ module F = Fptree.Fixed
 
 exception Divergence of string
 
-let failf fmt = Printf.ksprintf (fun s -> raise (Divergence s)) fmt
+(* Divergence is the harness's failure verdict: before raising, write
+   the flight-recorder dump (when a crash-dump path is configured, see
+   [Obs.Flight.set_crash_dump]) and name the file in the message, so
+   the report that reaches the user points at the per-op event history
+   leading up to the failure. *)
+let failf fmt =
+  Printf.ksprintf
+    (fun s ->
+      let s =
+        match Obs.Flight.crash_dump ~reason:("chaos divergence: " ^ s) with
+        | Some path -> s ^ " [flight dump: " ^ path ^ "]"
+        | None -> s
+      in
+      raise (Divergence s))
+    fmt
 
 type report = {
   iterations : int;
@@ -131,8 +145,18 @@ let run ?(arena_bytes = Enumerate.default_arena)
        done
      with
     | Scm.Config.Crash_injected ->
-      fired := if fault = 2 then `Torn else `Crash
-    | Pmem.Palloc.Alloc_injected -> fired := `Alloc);
+      fired := if fault = 2 then `Torn else `Crash;
+      ignore
+        (Obs.Flight.crash_dump
+           ~reason:
+             (Printf.sprintf "%s: %s" where
+                (if fault = 2 then "torn-store crash injected"
+                 else "crash injected")))
+    | Pmem.Palloc.Alloc_injected ->
+      fired := `Alloc;
+      ignore
+        (Obs.Flight.crash_dump
+           ~reason:(where ^ ": allocation failure injected")));
     disarm_all ();
     let region = Pmem.Palloc.region !alloc in
     (match !fired with

@@ -7,8 +7,9 @@ external thread_cputime_ns : unit -> float = "scm_thread_cputime_ns"
 let available () = thread_cputime_ns () >= 0.
 
 (** CPU seconds consumed by the calling thread so far; falls back to
-    wall-clock time where the per-thread clock is unavailable (deltas
-    then measure wall time, which is the best remaining estimate). *)
+    monotonic elapsed time ({!Obs.Clock}) where the per-thread clock
+    is unavailable (deltas then measure elapsed time, which is the
+    best remaining estimate and at least cannot go backwards). *)
 let thread_seconds () =
   let ns = thread_cputime_ns () in
-  if ns < 0. then Unix.gettimeofday () else ns *. 1e-9
+  if ns < 0. then Obs.Clock.now_s () else ns *. 1e-9

@@ -4,18 +4,19 @@
     cache miss spins for (scm latency - dram latency) nanoseconds, so
     end-to-end wall-clock runs feel the latency knob directly, like the
     paper's emulation platform.  The spin loop is calibrated once
-    against [Unix.gettimeofday]. *)
+    against the monotonic clock ([Obs.Clock]; the wall clock can step
+    mid-calibration and skew every injected delay afterwards). *)
 
 let spins_per_ns =
   lazy
     (let calibrate () =
        let iters = 50_000_000 in
-       let t0 = Unix.gettimeofday () in
+       let t0 = Obs.Clock.now_s () in
        let acc = ref 0 in
        for i = 1 to iters do
          acc := !acc lxor i
        done;
-       let t1 = Unix.gettimeofday () in
+       let t1 = Obs.Clock.now_s () in
        ignore (Sys.opaque_identity !acc);
        let ns = (t1 -. t0) *. 1e9 in
        if ns <= 0. then 1.0 else float_of_int iters /. ns

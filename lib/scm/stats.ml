@@ -45,7 +45,26 @@ let[@inline] incr_line_reads () = Obs.Counter.incr line_reads_c
 let[@inline] incr_line_writes () = Obs.Counter.incr line_writes_c
 let[@inline] incr_flushes () = Obs.Counter.incr flushes_c
 let[@inline] incr_fences () = Obs.Counter.incr fences_c
-let[@inline] incr_persists () = Obs.Counter.incr persists_c
+
+(* Persist-batch markers for the flight recorder: one event per
+   [persist_batch_window] persists on the calling domain, so a crash
+   dump shows the cadence of persist traffic without one event per
+   persist.  Only instrumented (stats-on) runs count persists at all,
+   so fast-mode traffic stays untouched; with the gate off the cost is
+   one extra load per persist. *)
+let persist_batch_window = 256
+
+let persist_run_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let[@inline] incr_persists () =
+  Obs.Counter.incr persists_c;
+  if Obs.Gate.enabled () then begin
+    let run = Domain.DLS.get persist_run_key in
+    let n = !run + 1 in
+    run := n;
+    if n mod persist_batch_window = 0 then
+      Obs.Flight.persist_batch ~batch:persist_batch_window ~total:n
+  end
 
 let reset () =
   Obs.Counter.reset line_reads_c;

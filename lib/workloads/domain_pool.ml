@@ -1,8 +1,10 @@
 (** Parallel benchmark harness: run one function per domain and return
-    the wall-clock time of the slowest (all domains start together on a
+    the elapsed time of the slowest (all domains start together on a
     barrier, as in the paper's concurrency experiments). *)
 
-let now () = Unix.gettimeofday ()
+(* Monotonic seconds: an NTP step mid-benchmark must not corrupt the
+   elapsed measurement. *)
+let now () = Obs.Clock.now_s ()
 
 (** [run ~domains f] spawns [domains] workers executing [f worker_id]
     after a start barrier; returns elapsed seconds (start-to-last-join). *)

@@ -41,6 +41,45 @@ fi
 mixed=$(sed -n 's/.*"conc_mixed_speedup_2x": \([0-9.]*\).*/\1/p' "$HP_JSON")
 echo "   conc_find 2-domain speedup: ${speedup}x (conc_mixed: ${mixed}x)"
 
+echo "== trace-overhead (flight recorder must stay cheap and honest) =="
+# With the gate on, single-domain find throughput may cost at most 10%
+# (DESIGN.md overhead pin: ratio = on/off throughput >= 0.9).
+ratio=$(sed -n 's/.*"trace_overhead_find_ratio": \([0-9.]*\).*/\1/p' "$HP_JSON")
+if [ -z "$ratio" ]; then
+  echo "FAIL: trace_overhead_find_ratio missing from $HP_JSON"; exit 1
+fi
+if ! awk "BEGIN{exit !($ratio >= 0.9)}"; then
+  echo "FAIL: tracing-on find ratio $ratio < 0.9 (flight recorder costs >10%)"
+  exit 1
+fi
+echo "   tracing-on/off find throughput ratio: $ratio"
+
+# With the gate off, the instrumented counter traces must be
+# byte-identical to the committed pins: the recorder ran inside this
+# bench process (trace-overhead stage), so any leak of gate-on behavior
+# into the gate-off paths shows up here as counter drift.  Compare each
+# fixed trace's counters against the LAST pinned occurrence in
+# BENCH_hotpath.json (same emitter, same key order, so the flattened
+# JSON objects compare as strings).
+flat_trace() { # file trace-name -> single-line {"trace":...} block
+  tr -d ' \n' < "$1" | grep -o "{\"trace\":\"$2\"[^}]*}" | tail -1
+}
+for tr_name in core delete_heavy; do
+  fresh=$(flat_trace "$HP_JSON" "$tr_name")
+  pinned=$(flat_trace BENCH_hotpath.json "$tr_name")
+  if [ -z "$fresh" ] || [ -z "$pinned" ]; then
+    echo "FAIL: counter trace '$tr_name' missing from $HP_JSON or BENCH_hotpath.json"
+    exit 1
+  fi
+  if [ "$fresh" != "$pinned" ]; then
+    echo "FAIL: gate-off counter trace '$tr_name' drifted from the committed pin:"
+    echo "   pinned: $pinned"
+    echo "   fresh:  $fresh"
+    exit 1
+  fi
+done
+echo "   gate-off counter traces byte-identical to committed pins"
+
 echo "== observability smoke (instrumented pass + metrics dump) =="
 CLI=_build/default/bin/fptree_cli.exe
 IMG=/tmp/bench_check_tree.scm
@@ -84,6 +123,14 @@ grep -q 'fptree.recovery.rebuild' "$GDUMP" || {
 "$CLI" stats "$IMG" --metrics - --metrics-format text \
   | grep -q '# TYPE scm_persists_total counter' || {
   echo "FAIL: text exposition missing scm_persists_total"; exit 1; }
+
+echo "== flight smoke (--flight-dump + trace summarizer) =="
+FDUMP=/tmp/bench_check_flight.json
+rm -f "$FDUMP"
+"$CLI" fill "$IMG" 5000 --flight-dump "$FDUMP" > /dev/null 2>&1
+"$CLI" trace "$FDUMP" | grep -q 'insert' || {
+  echo "FAIL: flight trace summary lacks the insert latency row"; exit 1; }
+"$CLI" trace "$FDUMP" | head -3 | sed 's/^/   /'
 
 echo "== pmcheck smoke (traced run + analyzer) =="
 TRACE=/tmp/bench_check_trace.json

@@ -11,7 +11,11 @@
      the simulator, all other code must use [Region] accessors
      (volatile scratch buffers in lib code use strings/arrays);
    - [Bytes.unsafe_] / [String.unsafe_] outside lib/scm;
-   - [external] declarations outside lib/scm (no FFI backdoors).
+   - [external] declarations outside lib/scm and lib/obs (no FFI
+     backdoors; obs owns the monotonic-clock stub);
+   - [Unix.gettimeofday] outside lib/obs: wall clock steps under NTP,
+     so all timing goes through [Obs.Clock] (monotonic); wall time is
+     dump metadata only, and [Obs.Clock.wall_s] is its one gateway.
 
    Comments and string/char literals are stripped first, so prose
    mentioning these identifiers is fine.  Usage:
@@ -166,15 +170,18 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let in_scm path =
-  (* normalized check: is this file part of the simulator itself? *)
+(* normalized check: is this file under lib/<sub>? *)
+let in_lib sub path =
   let parts = String.split_on_char '/' path in
   let rec has = function
-    | "lib" :: "scm" :: _ -> true
+    | "lib" :: s :: _ when s = sub -> true
     | _ :: tl -> has tl
     | [] -> false
   in
   has parts
+
+let in_scm path = in_lib "scm" path
+let in_obs path = in_lib "obs" path
 
 let check_file path =
   let stripped = strip (read_file path) in
@@ -186,9 +193,15 @@ let check_file path =
     bad "Bytes."
       "direct Bytes access outside lib/scm: persistent memory must go \
        through Scm.Region accessors";
-    bad "String.unsafe_" "unsafe string access outside lib/scm";
-    bad "external" "external (FFI) declarations are confined to lib/scm"
-  end
+    bad "String.unsafe_" "unsafe string access outside lib/scm"
+  end;
+  if not (in_scm path || in_obs path) then
+    bad "external"
+      "external (FFI) declarations are confined to lib/scm and lib/obs";
+  if not (in_obs path) then
+    bad "Unix.gettimeofday"
+      "wall clock outside lib/obs: time with Obs.Clock (monotonic); wall \
+       time is dump metadata only (Obs.Clock.wall_s)"
 
 let rec walk path =
   if Sys.is_directory path then

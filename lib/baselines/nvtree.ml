@@ -31,7 +31,9 @@ module Make (K : Fptree.Keys.KEY) = struct
 
   type leaf = {
     off : int; (* payload offset of the leaf in SCM *)
-    lock : bool Atomic.t;
+    lock : bool Htm.Sched.atom;
+        (* via Htm.Sched.Opaque: this baseline is not model-checked,
+           so its private lock words are one atomic step to mcheck *)
   }
 
   type pln = {
@@ -113,7 +115,7 @@ module Make (K : Fptree.Keys.KEY) = struct
 
   let new_pln t =
     { n = 0; seps = Array.make t.pln_cap K.dummy;
-      leaves = Array.make t.pln_cap { off = -1; lock = Atomic.make false } }
+      leaves = Array.make t.pln_cap { off = -1; lock = Htm.Sched.Opaque.make false } }
 
   (* last index with arr.(i) <= k (arrays sorted ascending, n used) *)
   let upper_index cmp arr n k =
@@ -254,7 +256,7 @@ module Make (K : Fptree.Keys.KEY) = struct
       List.iteri
         (fun j (k, v, _) -> append_entry t off j ~flag:flag_live k v)
         entries;
-      { off; lock = Atomic.make false }
+      { off; lock = Htm.Sched.Opaque.make false }
     in
     let old_sep = pln.seps.(i) in
     let repl =
@@ -316,16 +318,16 @@ module Make (K : Fptree.Keys.KEY) = struct
 
   (* ---- base operations (Selective-Concurrency style protocol) ---- *)
 
-  let try_lock l = Atomic.compare_and_set l.lock false true
-  let unlock l = Atomic.set l.lock false
+  let try_lock l = Htm.Sched.Opaque.cas l.lock false true
+  let unlock l = Htm.Sched.Opaque.set l.lock false
 
   let find t k =
     Spec.with_txn t.spec (fun () ->
         let _, _, leaf = find_leaf t k in
-        if Atomic.get leaf.lock then Spec.Abort
+        if Htm.Sched.Opaque.get leaf.lock then Spec.Abort
         else begin
           let r = scan_leaf t leaf k in
-          if Atomic.get leaf.lock then Spec.Abort
+          if Htm.Sched.Opaque.get leaf.lock then Spec.Abort
           else Spec.Commit (match r with Some (v, true) -> Some v | _ -> None)
         end)
 
@@ -453,7 +455,7 @@ module Make (K : Fptree.Keys.KEY) = struct
     in
     let l = alloc_leaf t ~scratch:meta_scratch1 in
     write_head t (Pptr.of_region region ~off:l);
-    rebuild_from_pairs t [| (K.dummy, { off = l; lock = Atomic.make false }) |];
+    rebuild_from_pairs t [| (K.dummy, { off = l; lock = Htm.Sched.Opaque.make false }) |];
     t.rebuilds <- 0;
     t
 
@@ -483,7 +485,7 @@ module Make (K : Fptree.Keys.KEY) = struct
             None live
         in
         let sep = match mink with Some k -> k | None -> K.dummy in
-        acc := (sep, { off; lock = Atomic.make false }) :: !acc;
+        acc := (sep, { off; lock = Htm.Sched.Opaque.make false }) :: !acc;
         walk (read_next t off)
       end
     in

@@ -37,14 +37,15 @@
     comparison explicitly. *)
 
 module Nv = Htm.Node_versions
+module Sched = Htm.Sched
 
 type leaf_ref = {
   off : int;                 (** leaf payload offset inside the tree's region *)
-  lock : bool Atomic.t;      (** volatile leaf lock (never persisted) *)
+  lock : bool Sched.atom;    (** volatile leaf lock (never persisted) *)
   ver : Nv.cell;             (** the leaf's version word (content + liveness) *)
 }
 
-let leaf_ref off = { off; lock = Atomic.make false; ver = Nv.fresh () }
+let leaf_ref off = { off; lock = Sched.make false; ver = Nv.fresh () }
 
 type 'k node = Inner of 'k inner | Leaf of leaf_ref
 
@@ -61,8 +62,22 @@ and 'k inner = {
          negative sequence — disjoint from both by construction. *)
 }
 
-let inner_id_seq = Atomic.make 0
-let fresh_inner_id () = -(1 + Atomic.fetch_and_add inner_id_seq 1)
+(* Opaque (un-scheduled) atomic: id allocation is process-local
+   bookkeeping, not part of the checked protocol. *)
+let inner_id_seq = Sched.Opaque.make 0
+let fresh_inner_id () = -(1 + Sched.Opaque.fetch_and_add inner_id_seq 1)
+
+(** Reset the inner-id sequence (test-only, used by the mcheck
+    harness): each model-checking execution rebuilds a fresh tree and
+    must assign it the {e same} negative inner ids, or replayed
+    schedules would not name the same objects. *)
+let reset_ids () = Sched.Opaque.set inner_id_seq 0
+
+(** Test-only: re-open the PR 5 root-pointer validation hole (fixed in
+    cb21ac0) by skipping the [root_ver] bump around the root-split
+    swap.  Only consulted on the (cold) root-split path; the mcheck
+    regression mode arms it to prove the model checker finds the bug. *)
+let regression_root_ver_hole = ref false
 
 type 'k t = {
   fanout : int;
@@ -230,25 +245,25 @@ let update_parents t cmp ~sep ~right =
       let i = child_index cmp n sep in
       match n.children.(i) with
       | Leaf _ ->
-        Nv.begin_write n.ver;
+        Nv.begin_write_id n.ver n.id;
         insert_at n i sep right_node;
         if n.nkeys = t.fanout - 1 then Some (n, split_inner t n)
         else begin
-          Nv.end_write n.ver;
+          Nv.end_write_id n.ver n.id;
           None
         end
       | Inner _ as child -> (
         match go child with
         | None -> None
         | Some (c, (sep', right')) ->
-          Nv.begin_write n.ver;
+          Nv.begin_write_id n.ver n.id;
           insert_at n i sep' (Inner right');
           (* [right'] is reachable through [n] now: close the split
              child's phase. *)
-          Nv.end_write c.ver;
+          Nv.end_write_id c.ver c.id;
           if n.nkeys = t.fanout - 1 then Some (n, split_inner t n)
           else begin
-            Nv.end_write n.ver;
+            Nv.end_write_id n.ver n.id;
             None
           end))
   in
@@ -267,10 +282,13 @@ let update_parents t cmp ~sep ~right =
        old root just before the swap fails validation instead of
        resolving keys above [sep'] against the detached pre-split
        root. *)
-    Nv.begin_write t.root_ver;
-    t.root <- Inner root;
-    Nv.end_write t.root_ver;
-    Nv.end_write c.ver;
+    if !regression_root_ver_hole then t.root <- Inner root
+    else begin
+      Nv.begin_write_id t.root_ver 0;
+      t.root <- Inner root;
+      Nv.end_write_id t.root_ver 0
+    end;
+    Nv.end_write_id c.ver c.id;
     if Obs.Gate.enabled () then Obs.Flight.root_swap ~dir:Obs.Flight.root_grow
 
 let remove_at n pos =
@@ -301,18 +319,18 @@ let remove_leaf t cmp key =
         if n.nkeys = 0 then (* single-child node: removing empties it *)
           true
         else begin
-          Nv.begin_write n.ver;
+          Nv.begin_write_id n.ver n.id;
           remove_at n i;
-          Nv.end_write n.ver;
+          Nv.end_write_id n.ver n.id;
           false
         end
       | Inner _ as child ->
         if go child then
           if n.nkeys = 0 then true
           else begin
-            Nv.begin_write n.ver;
+            Nv.begin_write_id n.ver n.id;
             remove_at n i;
-            Nv.end_write n.ver;
+            Nv.end_write_id n.ver n.id;
             false
           end
         else false)
@@ -321,9 +339,9 @@ let remove_leaf t cmp key =
     (* The whole tree emptied; keep an empty root. *)
     match t.root with
     | Inner n ->
-      Nv.begin_write n.ver;
+      Nv.begin_write_id n.ver n.id;
       n.nkeys <- 0;
-      Nv.end_write n.ver
+      Nv.end_write_id n.ver n.id
     | Leaf _ -> assert false
   end;
   (* Collapse a root holding a single inner child.  Unlike a root

@@ -13,7 +13,9 @@
 
 type leaf_ref = {
   off : int;             (** leaf payload offset inside the tree's region *)
-  lock : bool Atomic.t;  (** volatile leaf lock (never persisted) *)
+  lock : bool Htm.Sched.atom;
+      (** volatile leaf lock (never persisted); accessed through the
+          {!Htm.Sched} shim so the model checker can interleave it *)
   ver : Htm.Node_versions.cell;
       (** the leaf's version word (content + liveness) *)
 }
@@ -46,6 +48,18 @@ type 'k t = {
 (** A tree over a single leaf: root is an inner node with one child.
     @raise Invalid_argument if [fanout < 2]. *)
 val create : fanout:int -> dummy_key:'k -> leaf_ref -> 'k t
+
+val reset_ids : unit -> unit
+(** Reset the process-wide inner-id sequence (test-only): the mcheck
+    harness rebuilds a fresh tree per model-checking execution and
+    needs it to receive the same negative inner ids, or replayed
+    schedules would not name the same objects. *)
+
+val regression_root_ver_hole : bool ref
+(** Test-only: re-open the PR 5 root-pointer validation hole (fixed in
+    cb21ac0) by skipping the [root_ver] bump around the root-split
+    swap.  Consulted only on the cold root-split path; armed by the
+    mcheck regression mode to prove the checker finds the bug. *)
 
 (** First child index whose subtree may hold [key]. *)
 val child_index : ('k -> 'k -> int) -> 'k inner -> 'k -> int

@@ -84,18 +84,22 @@ let format t = reset t
 module Pool = struct
   type log = t
 
+  (* The free bitmask goes through [Htm.Sched.Opaque]: a CAS-loop
+     allocator is linearizable by construction, so the model checker
+     treats each acquire/release as one atomic step (see the Sched
+     header's modeling boundary). *)
   type t = {
     logs : log array;
-    free : int Atomic.t; (* bitmask: bit i set <=> slot i free *)
+    free : int Htm.Sched.atom; (* bitmask: bit i set <=> slot i free *)
   }
 
   let create logs =
     let n = Array.length logs in
     if n < 1 || n > 62 then invalid_arg "Microlog.Pool.create: 1..62 slots";
-    { logs; free = Atomic.make ((1 lsl n) - 1) }
+    { logs; free = Htm.Sched.Opaque.make ((1 lsl n) - 1) }
 
   let rec acquire t =
-    let m = Atomic.get t.free in
+    let m = Htm.Sched.Opaque.get t.free in
     if m = 0 then begin
       (* All slots in flight: extremely rare (as many concurrent
          structural ops as slots); spin until one retires. *)
@@ -104,7 +108,7 @@ module Pool = struct
     end
     else
       let bit = m land -m in
-      if Atomic.compare_and_set t.free m (m lxor bit) then begin
+      if Htm.Sched.Opaque.cas t.free m (m lxor bit) then begin
         let rec log2 i b = if b = 1 then i else log2 (i + 1) (b lsr 1) in
         t.logs.(log2 0 bit)
       end
@@ -121,8 +125,8 @@ module Pool = struct
       find 0
     in
     let rec cas () =
-      let m = Atomic.get t.free in
-      if not (Atomic.compare_and_set t.free m (m lor (1 lsl idx))) then cas ()
+      let m = Htm.Sched.Opaque.get t.free in
+      if not (Htm.Sched.Opaque.cas t.free m (m lor (1 lsl idx))) then cas ()
     in
     cas ()
 

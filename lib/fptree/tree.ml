@@ -17,6 +17,7 @@
 
 module Spec = Htm.Speculative_lock
 module Nv = Htm.Node_versions
+module Sched = Htm.Sched
 module Region = Scm.Region
 module Pptr = Pmem.Pptr
 
@@ -364,7 +365,16 @@ module Make (K : Keys.KEY) = struct
      domain's acquire can never appear before our release in the trace
      order. *)
   let try_lock t (l : Inner.leaf_ref) =
-    let ok = Atomic.compare_and_set l.Inner.lock false true in
+    (* Test-and-test-and-set: a contended attempt fails on the plain
+       load without dirtying the lock line.  This also keeps the model
+       checker's wake-ups tied to real lock-word transitions — a failed
+       CAS would count as a write and let contending fibers wake each
+       other forever. *)
+    let obj = Sched.obj_lock l.Inner.off in
+    let ok =
+      (not (Sched.get ~obj l.Inner.lock))
+      && Sched.cas ~obj l.Inner.lock false true
+    in
     if ok && Scm.Pmtrace.enabled () then
       Scm.Pmtrace.lock_acquire ~region:(Region.id (region t)) ~leaf:l.Inner.off;
     ok
@@ -372,9 +382,10 @@ module Make (K : Keys.KEY) = struct
   let unlock t (l : Inner.leaf_ref) =
     if Scm.Pmtrace.enabled () then
       Scm.Pmtrace.lock_release ~region:(Region.id (region t)) ~leaf:l.Inner.off;
-    Atomic.set l.Inner.lock false
+    Sched.set ~obj:(Sched.obj_lock l.Inner.off) l.Inner.lock false
 
-  let is_locked (l : Inner.leaf_ref) = Atomic.get l.Inner.lock
+  let is_locked (l : Inner.leaf_ref) =
+    Sched.get ~obj:(Sched.obj_lock l.Inner.off) l.Inner.lock
 
   (* ---- per-node version phases (precise conflict detection) ---- *)
 
@@ -391,14 +402,14 @@ module Make (K : Keys.KEY) = struct
      every store to the leaf falls strictly between them and the
      analyzer's unversioned-leaf-store check is exact. *)
   let ver_begin t (l : Inner.leaf_ref) =
-    Nv.begin_write l.Inner.ver;
+    Nv.begin_write_id l.Inner.ver l.Inner.off;
     if Scm.Pmtrace.enabled () then
       Scm.Pmtrace.ver_begin ~region:(Region.id (region t)) ~leaf:l.Inner.off
 
   let ver_end t (l : Inner.leaf_ref) =
     if Scm.Pmtrace.enabled () then
       Scm.Pmtrace.ver_end ~region:(Region.id (region t)) ~leaf:l.Inner.off;
-    Nv.end_write l.Inner.ver
+    Nv.end_write_id l.Inner.ver l.Inner.off
 
   (* ---- leaf groups (Section 4.3 and Appendix B) ---- *)
 
@@ -889,6 +900,11 @@ module Make (K : Keys.KEY) = struct
     end
     else begin
       Spec.unlock_fallback t.spec;
+      (* Model checker: park until the holder writes the lock word (a
+         spinning fiber would otherwise make the schedule space
+         unbounded); no-op in production, where the relax spin below
+         keeps its behaviour. *)
+      Sched.await ~obj:(Sched.obj_lock leaf.Inner.off);
       Spec.relax ();
       Spec.relock_fallback t.spec;
       lock_leaf_fallback_locked t k
@@ -961,9 +977,13 @@ module Make (K : Keys.KEY) = struct
        waiting on the mutex for its structure update can then make
        progress — no deadlock). *)
     let leaf = Inner.find_leaf K.compare t.inner.Inner.root k in
+    Sched.point ~obj:(Sched.obj_ver leaf.Inner.off) ~write:false;
     let v0 = Nv.read leaf.Inner.ver in
     if Nv.is_busy v0 then begin
       Spec.unlock_fallback t.spec;
+      (* Model checker: park until the leaf writer bumps the version
+         word (see lock_leaf_fallback_locked). *)
+      Sched.await ~obj:(Sched.obj_ver leaf.Inner.off);
       Spec.relax ();
       Spec.relock_fallback t.spec;
       find_fallback_locked t k h
@@ -971,6 +991,7 @@ module Make (K : Keys.KEY) = struct
     else begin
       match find_slot t leaf.Inner.off k h with
       | exception e ->
+        Sched.point ~obj:(Sched.obj_ver leaf.Inner.off) ~write:false;
         if Nv.read leaf.Inner.ver = v0 then begin
           Spec.unlock_fallback t.spec;
           raise e
@@ -983,6 +1004,7 @@ module Make (K : Keys.KEY) = struct
         end
       | s ->
         let v = if s >= 0 then read_value t leaf.Inner.off s else 0 in
+        Sched.point ~obj:(Sched.obj_ver leaf.Inner.off) ~write:false;
         if Nv.read leaf.Inner.ver <> v0 then begin
           Spec.unlock_fallback t.spec;
           Spec.relax ();
@@ -1295,6 +1317,8 @@ module Make (K : Keys.KEY) = struct
     let leaf, prev = Inner.find_leaf_and_prev K.compare t.inner.Inner.root k in
     if not (try_lock t leaf) then begin
       Spec.unlock_fallback t.spec;
+      (* Model checker: park until the holder writes the lock word. *)
+      Sched.await ~obj:(Sched.obj_lock leaf.Inner.off);
       Spec.relax ();
       Spec.relock_fallback t.spec;
       delete_decide_locked t k h
@@ -1318,6 +1342,7 @@ module Make (K : Keys.KEY) = struct
           else begin
             unlock t leaf;
             Spec.unlock_fallback t.spec;
+            Sched.await ~obj:(Sched.obj_lock p.Inner.off);
             Spec.relax ();
             Spec.relock_fallback t.spec;
             delete_decide_locked t k h

@@ -65,6 +65,18 @@ let[@inline] begin_write (c : cell) =
 let[@inline] end_write (c : cell) =
   ignore (Atomic.fetch_and_add c ((1 lsl 8) - 1))
 
+(** {!begin_write}/{!end_write} under a node identity: the bump yields
+    to the model checker ({!Sched.point}) before touching the cell, so
+    writer phases are schedule points.  All tree writers use these; the
+    anonymous forms stay for callers outside the checked protocol. *)
+let[@inline] begin_write_id (c : cell) id =
+  Sched.point ~obj:(Sched.obj_ver id) ~write:true;
+  ignore (Atomic.fetch_and_add c ((1 lsl 8) + 1))
+
+let[@inline] end_write_id (c : cell) id =
+  Sched.point ~obj:(Sched.obj_ver id) ~write:true;
+  ignore (Atomic.fetch_and_add c ((1 lsl 8) - 1))
+
 (* ---- per-domain read sets ---- *)
 
 type readset = {
@@ -88,21 +100,38 @@ let dummy_cell : cell = Atomic.make 0
 (* One buffer per domain, reused by every optimistic section: the find
    path must not allocate, and tree heights are tiny (root→leaf plus
    the leaf itself), so 16 entries never grow in practice. *)
-let rs_key =
-  Domain.DLS.new_key (fun () ->
-      {
-        rs_cells = Array.make 16 dummy_cell;
-        rs_vers = Array.make 16 0;
-        rs_ids = Array.make 16 0;
-        rs_n = 0;
-        rs_busy_id = 0;
-        rs_busy = false;
-      })
+let fresh_readset () =
+  {
+    rs_cells = Array.make 16 dummy_cell;
+    rs_vers = Array.make 16 0;
+    rs_ids = Array.make 16 0;
+    rs_n = 0;
+    rs_busy_id = 0;
+    rs_busy = false;
+  }
+
+let rs_key = Domain.DLS.new_key fresh_readset
+
+(* Under the model checker every fiber shares one real domain, so the
+   DLS buffer would be shared by all logical threads; buffers are keyed
+   by the scheduler's logical thread id instead.  Single real domain,
+   so the table needs no synchronization. *)
+let mc_sets : (int, readset) Hashtbl.t = Hashtbl.create 8
+
+let mc_readset () =
+  let tid = Sched.tid () in
+  match Hashtbl.find_opt mc_sets tid with
+  | Some rs -> rs
+  | None ->
+    let rs = fresh_readset () in
+    Hashtbl.add mc_sets tid rs;
+    rs
 
 (** The calling domain's read-set buffer, emptied.  Allocates only on
-    the domain's first call (DLS initialization). *)
+    the domain's first call (DLS initialization).  Under the model
+    checker ({!Sched.on}) the buffer is per logical thread instead. *)
 let scratch () =
-  let rs = Domain.DLS.get rs_key in
+  let rs = if Sched.on () then mc_readset () else Domain.DLS.get rs_key in
   rs.rs_n <- 0;
   rs.rs_busy <- false;
   rs
@@ -112,7 +141,7 @@ let scratch () =
     abort that just happened ({!failure}) before the next attempt's
     {!scratch} wipes the evidence.  Same one-section-per-domain
     constraint as {!scratch}. *)
-let current () = Domain.DLS.get rs_key
+let current () = if Sched.on () then mc_readset () else Domain.DLS.get rs_key
 
 let grow rs =
   let n = Array.length rs.rs_cells in
@@ -139,6 +168,7 @@ let[@inline] record rs c v id =
     the hot path and is only read back on aborts.
     @raise Conflict if a writer is inside a phase on [c]. *)
 let[@inline] observe_id rs (c : cell) id =
+  Sched.point ~obj:(Sched.obj_ver id) ~write:false;
   let v = Atomic.get c in
   if v land count_mask <> 0 then begin
     rs.rs_busy <- true;
@@ -177,8 +207,10 @@ let failure rs =
     snapshot.  Allocation-free. *)
 let rec validate_from rs i =
   i >= rs.rs_n
-  || (Atomic.get (Array.unsafe_get rs.rs_cells i)
+  || (Sched.point ~obj:(Sched.obj_ver (Array.unsafe_get rs.rs_ids i))
+        ~write:false;
+      Atomic.get (Array.unsafe_get rs.rs_cells i)
       = Array.unsafe_get rs.rs_vers i
-     && validate_from rs (i + 1))
+      && validate_from rs (i + 1))
 
 let validate rs = validate_from rs 0

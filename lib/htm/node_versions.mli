@@ -29,6 +29,14 @@ val begin_write : cell -> unit
 
 val end_write : cell -> unit
 
+val begin_write_id : cell -> int -> unit
+(** {!begin_write} under a node identity (same convention as
+    {!observe_id}): the bump is a model-checker schedule point
+    ({!Sched.point}).  All tree writers use the [_id] forms; the
+    anonymous forms are for callers outside the checked protocol. *)
+
+val end_write_id : cell -> int -> unit
+
 (** {1 Read sets} *)
 
 type readset

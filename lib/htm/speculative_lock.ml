@@ -165,25 +165,43 @@ let cpu_relax () = Domain.cpu_relax ()
     the same conflict twice do not replay identical wait schedules and
     re-collide in lockstep (the old jitter was a pure function of
     (domain, attempt), i.e. seeded once per domain lifetime).
-    Allocation-free.  Counted in the per-lock stats. *)
+    Allocation-free.  Counted in the per-lock stats.
+
+    With [Scm.Config.current.backoff_seed = Some s] the jitter is
+    instead a pure function of (s, attempt, domain slot) — no Weyl
+    state is read or advanced — so equal-seed runs report identical
+    [backoff_waits] and identical flight [backoff_wait] payloads (the
+    determinism the chaos and mcheck harnesses pin).  Under the model
+    checker the wait itself is skipped: simulated time is schedule
+    order, and a spinning fiber would stall the cooperative scheduler
+    without changing any reachable interleaving. *)
 let backoff t attempt =
   Obs.Counter.incr t.backoff_waits;
   Obs.Counter.incr g_backoff_waits;
-  let spins = min t.backoff_ceiling (1 lsl min (attempt + 1) 20) in
-  let d = (Domain.self () :> int) land (jitter_shards - 1) in
-  let cell = Array.unsafe_get t.jitter (d * jitter_stride) in
-  (* Weyl step + splitmix-style finalizer; the state survives across
-     acquisitions, which is what re-seeds the sequence. *)
-  let s = Atomic.get cell + 0x9E3779B97F4A7C1 in
-  Atomic.set cell s;
-  let h = (s lxor (s lsr 29)) * 0x3F58476D1CE4E5B9 in
-  let h = h lxor (h lsr 32) in
-  let jitter = (h land max_int) mod (spins + 1) in
-  if Obs.Gate.enabled () then
-    Obs.Flight.backoff_wait ~attempt ~spins:(spins + jitter);
-  for _ = 1 to spins + jitter do
-    cpu_relax ()
-  done
+  if not (Sched.on ()) then begin
+    let spins = min t.backoff_ceiling (1 lsl min (attempt + 1) 20) in
+    let d = (Domain.self () :> int) land (jitter_shards - 1) in
+    let s =
+      match Scm.Config.current.backoff_seed with
+      | Some seed ->
+        seed + ((attempt + 1) * 0x9E3779B97F4A7C1) + (d * 0x3F58476D1CE4E5B9)
+      | None ->
+        let cell = Array.unsafe_get t.jitter (d * jitter_stride) in
+        (* Weyl step + splitmix-style finalizer; the state survives
+           across acquisitions, which is what re-seeds the sequence. *)
+        let s = Atomic.get cell + 0x9E3779B97F4A7C1 in
+        Atomic.set cell s;
+        s
+    in
+    let h = (s lxor (s lsr 29)) * 0x3F58476D1CE4E5B9 in
+    let h = h lxor (h lsr 32) in
+    let jitter = (h land max_int) mod (spins + 1) in
+    if Obs.Gate.enabled () then
+      Obs.Flight.backoff_wait ~attempt ~spins:(spins + jitter);
+    for _ = 1 to spins + jitter do
+      cpu_relax ()
+    done
+  end
 
 (** Run [f] as a TSX-style transaction.  [f] must be free of side
     effects on shared transient state (it may CAS leaf locks: a
@@ -234,8 +252,12 @@ let with_txn ?(on_rollback = fun _ -> ()) t f =
        it, so a thread holding a leaf lock can still enter its second
        (structure-updating) critical section — no deadlock. *)
     count_fallback t;
-    Mutex.lock t.fallback;
-    let r = Fun.protect ~finally:(fun () -> Mutex.unlock t.fallback) f in
+    Sched.mutex_lock ~obj:Sched.obj_mutex t.fallback;
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Sched.mutex_unlock ~obj:Sched.obj_mutex t.fallback)
+        f
+    in
     match r with
     | Commit x -> x
     | Abort ->
@@ -284,16 +306,16 @@ let relax = cpu_relax
     fallback.  The caller must pair it with {!unlock_fallback}. *)
 let lock_fallback t =
   count_fallback t;
-  Mutex.lock t.fallback;
+  Sched.mutex_lock ~obj:Sched.obj_mutex t.fallback;
   if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_lock ()
 
 let relock_fallback t =
-  Mutex.lock t.fallback;
+  Sched.mutex_lock ~obj:Sched.obj_mutex t.fallback;
   if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_lock ()
 
 let unlock_fallback t =
   if Scm.Pmtrace.enabled () then Scm.Pmtrace.fallback_unlock ();
-  Mutex.unlock t.fallback
+  Sched.mutex_unlock ~obj:Sched.obj_mutex t.fallback
 
 (** Run [f] as a writing transaction.  Writers to the transient
     structure always serialize on the mutex and invalidate concurrent
@@ -302,14 +324,16 @@ let unlock_fallback t =
     fallback behaviour and only affects scalability of structure
     modifications, i.e. splits.) *)
 let with_write t f =
-  Mutex.lock t.fallback;
+  Sched.mutex_lock ~obj:Sched.obj_mutex t.fallback;
+  Sched.point ~obj:Sched.obj_global ~write:true;
   Padded.incr t.version;
   if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_begin ();
   Fun.protect
     ~finally:(fun () ->
       if Scm.Pmtrace.enabled () then Scm.Pmtrace.writer_end ();
+      Sched.point ~obj:Sched.obj_global ~write:true;
       Padded.incr t.version;
-      Mutex.unlock t.fallback)
+      Sched.mutex_unlock ~obj:Sched.obj_mutex t.fallback)
     f
 
 type stats = {

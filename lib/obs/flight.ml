@@ -67,6 +67,11 @@ type ring = {
           tracing budget.  Every fresh-clock emission refreshes it, so
           marker timestamps lag by at most one sampling interval and
           never move backwards within the ring. *)
+  mutable r_persist_run : int;
+      (** persists counted on this domain since the ring was made; the
+          recorder owns this so [Scm.Stats] needs no [Domain.DLS] slot
+          of its own (per-domain keys are confined to lib/htm and
+          lib/obs — see tools/lint.ml). *)
 }
 
 let rings : ring list ref = ref []
@@ -79,6 +84,7 @@ let make_ring () =
       r_buf = Array.make (capacity * words_per_event) 0;
       r_cursor = Atomic.make 0;
       r_last_us = Clock.now_us_int ();
+      r_persist_run = 0;
     }
   in
   Mutex.lock rings_lock;
@@ -157,6 +163,16 @@ let root_swap ~dir = emit ~tag:Event.root_swap ~a:dir ~b:0 ~c:0 ~d:0
 
 let persist_batch ~batch ~total =
   emit ~tag:Event.persist_batch ~a:batch ~b:total ~c:0 ~d:0
+
+(** Count one persist on the calling domain and emit a {!persist_batch}
+    event every [batch]-th call — the cadence marker [Scm.Stats] feeds
+    from [incr_persists] when the gate is on.  The run counter lives in
+    the per-domain ring so the caller carries no DLS state. *)
+let persist_tick ~batch =
+  let r = Domain.DLS.get ring_key in
+  let n = r.r_persist_run + 1 in
+  r.r_persist_run <- n;
+  if n mod batch = 0 then persist_batch ~batch ~total:n
 
 (* ---- span-name interning (cold path: recovery phases etc.) ---- *)
 

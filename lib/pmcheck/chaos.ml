@@ -106,6 +106,11 @@ let run ?(arena_bytes = Enumerate.default_arena)
     ~iterations () =
   Scm.Registry.clear ();
   Scm.Config.reset ();
+  (* Pin the speculative-retry backoff jitter to the harness seed:
+     with a free-running per-domain Weyl cell, two runs with the same
+     [seed] could diverge in spin counts and flight [backoff_wait]
+     payloads, breaking reproduction of a failing iteration. *)
+  Scm.Config.current.Scm.Config.backoff_seed <- Some seed;
   let rng = Random.State.make [| 0x0C0A05; seed |] in
   let alloc = ref (Pmem.Palloc.create ~size:arena_bytes ()) in
   let t = ref (F.create ~config !alloc) in

@@ -57,6 +57,19 @@ type t = {
   mutable torn_seed : int;
       (** Decides, deterministically, how many bytes of the torn store
           survive. *)
+  mutable model_check : bool;
+      (** Route every shared-memory access of the concurrency protocol
+          (version cells, leaf-lock words, fallback mutex, root swap)
+          through the {!Htm.Sched} shim so a cooperative model checker
+          can interleave them.  Production paths pay one load + branch
+          when off — same gating pattern as [tracing]. *)
+  mutable backoff_seed : int option;
+      (** [Some s]: [Speculative_lock] backoff jitter becomes a pure
+          function of (s, attempt, domain slot) instead of the
+          free-running per-domain Weyl cell, so two runs with the same
+          seed produce identical [backoff_waits].  Pinned by the chaos
+          and mcheck harnesses; [None] (default) keeps the
+          cross-acquisition drift that de-synchronizes real domains. *)
 }
 
 let default () = {
@@ -74,6 +87,8 @@ let default () = {
   torn_nth_store = None;
   torn_count = 0;
   torn_seed = 0;
+  model_check = false;
+  backoff_seed = None;
 }
 
 let current = default ()
@@ -109,6 +124,12 @@ let set_tracing b =
     incr mode_generation
   end
 
+let set_model_check b =
+  if current.model_check <> b then begin
+    current.model_check <- b;
+    incr mode_generation
+  end
+
 let reset () =
   let d = default () in
   current.scm_read_ns <- d.scm_read_ns;
@@ -118,6 +139,8 @@ let reset () =
   set_stats d.stats;
   set_delay_injection d.delay_injection;
   set_tracing d.tracing;
+  set_model_check d.model_check;
+  current.backoff_seed <- d.backoff_seed;
   current.crash_after_persists <- d.crash_after_persists;
   current.persist_count <- d.persist_count;
   current.skip_nth_persist <- d.skip_nth_persist;

@@ -29,6 +29,14 @@ type t = {
   mutable torn_nth_store : int option;
   mutable torn_count : int;
   mutable torn_seed : int;
+  mutable model_check : bool;
+      (** Change through {!set_model_check} (generation-witnessed). *)
+  mutable backoff_seed : int option;
+      (** [Some s] pins [Speculative_lock] backoff jitter to a pure
+          function of (s, attempt, domain slot), so equal-seed runs
+          report identical [backoff_waits]; [None] (default) keeps the
+          free-running per-domain Weyl sequence.  Set by direct field
+          assignment (no hot path caches it). *)
 }
 
 val default : unit -> t
@@ -54,6 +62,13 @@ val set_delay_injection : bool -> unit
 
 (** Enable {!Pmtrace} event recording (pmcheck sanitizer input). *)
 val set_tracing : bool -> unit
+
+(** Route the concurrency protocol's shared-memory accesses (version
+    cells, leaf-lock words, fallback mutex, root swap) through the
+    [Htm.Sched] shim so the mcheck model checker can interleave them at
+    every access.  Off (default): production paths pay one load + branch
+    per shared access, nothing else changes. *)
+val set_model_check : bool -> unit
 
 val reset : unit -> unit
 val set_latency : ?write_ns:float -> read_ns:float -> unit -> unit

@@ -3,7 +3,10 @@
     spins for (SCM latency − DRAM latency), so wall-clock runs feel the
     latency knob like the paper's emulation platform. *)
 
-val spins_per_ns : float Lazy.t
+val spins_per_ns : unit -> float
+(** Spin-loop iterations per nanosecond; calibrated on first use
+    (domain-safe: concurrent first calls serialize on a mutex). *)
+
 val busy_wait_ns : float -> unit
 
 (** Injected by the region on each simulated read miss. *)

@@ -54,17 +54,10 @@ let[@inline] incr_fences () = Obs.Counter.incr fences_c
    one extra load per persist. *)
 let persist_batch_window = 256
 
-let persist_run_key = Domain.DLS.new_key (fun () -> ref 0)
-
 let[@inline] incr_persists () =
   Obs.Counter.incr persists_c;
-  if Obs.Gate.enabled () then begin
-    let run = Domain.DLS.get persist_run_key in
-    let n = !run + 1 in
-    run := n;
-    if n mod persist_batch_window = 0 then
-      Obs.Flight.persist_batch ~batch:persist_batch_window ~total:n
-  end
+  if Obs.Gate.enabled () then
+    Obs.Flight.persist_tick ~batch:persist_batch_window
 
 let reset () =
   Obs.Counter.reset line_reads_c;

@@ -332,6 +332,47 @@ let qcheck_wb =
   qcheck_model "wbtree model" Wb.insert Wb.find Wb.update Wb.delete Wb.count
     (fun () -> Wb.create ~leaf_m:4 ~inner_m:4 (fresh_alloc ()))
 
+(* Runtime counterpart of [Baselines.Conformance]'s compile-time
+   ascriptions: drive every FIXED tree through the uniform
+   [Fptree.Tree_intf.FIXED] interface with one shared script, the way
+   tree-agnostic benchmarks and integrations do. *)
+type packed = P : (module Fptree.Tree_intf.FIXED with type t = 'a) * 'a -> packed
+
+let test_conformance_uniform_interface () =
+  let packs =
+    [
+      (let a = fresh_alloc () in
+       P ((module Fptree.Fixed), Fptree.Fixed.create_single ~m:8 a));
+      (let a = fresh_alloc () in
+       P ((module Fptree.Ptree.Fixed), Fptree.Ptree.Fixed.create ~m:8 a));
+      P ((module Stx), Stx.create ~leaf_cap:8 ~inner_cap:8 ());
+      (let a = fresh_alloc () in P ((module Nv), Nv.create ~cap:16 a));
+      (let a = fresh_alloc () in P ((module Wb), Wb.create ~leaf_m:8 a));
+    ]
+  in
+  List.iter
+    (fun (P ((module M), t)) ->
+      for i = 1 to 100 do
+        if not (M.insert t i (i * 7)) then
+          Alcotest.failf "%s: insert %d" M.name i
+      done;
+      if M.count t <> 100 then Alcotest.failf "%s: count" M.name;
+      if M.find t 42 <> Some (42 * 7) then Alcotest.failf "%s: find" M.name;
+      if not (M.update t 42 0) then Alcotest.failf "%s: update" M.name;
+      if not (M.delete t 41) then Alcotest.failf "%s: delete" M.name;
+      if M.range t ~lo:40 ~hi:43 <> [ (40, 280); (42, 0); (43, 301) ] then
+        Alcotest.failf "%s: range" M.name;
+      if M.dram_bytes t < 0 || M.scm_bytes t < 0 then
+        Alcotest.failf "%s: footprint" M.name;
+      (* speculative counters: an assoc list (possibly empty), and no
+         tree reports aborts it never performed single-threaded *)
+      List.iter
+        (fun (k, v) ->
+          if v <> 0 then Alcotest.failf "%s: nonzero %s single-threaded" M.name k)
+        (M.htm_stats t))
+    packs;
+  Alcotest.(check int) "five trees conform" 5 (List.length packs)
+
 let () =
   Alcotest.run "baselines"
     [
@@ -362,6 +403,11 @@ let () =
           Alcotest.test_case "fully SCM-resident" `Quick test_wb_scm_resident;
         ] );
       ("stxtree", [ Alcotest.test_case "rebuild baseline" `Quick test_stx_rebuild ]);
+      ( "conformance",
+        [
+          Alcotest.test_case "uniform FIXED interface" `Quick
+            test_conformance_uniform_interface;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest qcheck_stx;

@@ -135,6 +135,50 @@ let qcheck_nested_write_consistency =
         (List.init n Fun.id);
       List.length !log = n * 100 && !ok)
 
+(* Pinned backoff seed: two equal-seed runs must produce identical
+   [backoff_waits] counts and, stronger, identical flight
+   [backoff_wait] spin payloads — the jitter becomes a pure function
+   of (seed, attempt, domain slot) instead of free-running Weyl
+   state.  This is what lets the chaos/mcheck harnesses reproduce a
+   failing run exactly. *)
+let test_backoff_seed_determinism () =
+  let backoff_events baseline =
+    List.filter_map
+      (fun e ->
+        if e.Obs.Flight.tag = Obs.Event.backoff_wait && e.Obs.Flight.seq > baseline
+        then Some (e.Obs.Flight.a, e.Obs.Flight.b)
+        else None)
+      (List.filter (fun e -> e.Obs.Flight.dom = (Domain.self () :> int))
+         (Obs.Flight.drain ()))
+  in
+  let dom_seq () =
+    List.fold_left
+      (fun acc e ->
+        if e.Obs.Flight.dom = (Domain.self () :> int) then max acc e.Obs.Flight.seq
+        else acc)
+      (-1) (Obs.Flight.drain ())
+  in
+  let one_run () =
+    let baseline = dom_seq () in
+    let t = Htm.Speculative_lock.create ~retry_threshold:8 ~backoff_ceiling:64 () in
+    for attempt = 0 to 7 do
+      Htm.Speculative_lock.backoff t attempt
+    done;
+    ((Htm.Speculative_lock.stats t).Htm.Speculative_lock.backoff_waits,
+     backoff_events baseline)
+  in
+  Scm.Config.reset ();
+  Scm.Config.current.Scm.Config.backoff_seed <- Some 1234;
+  Obs.Gate.set_enabled true;
+  let waits1, evs1 = one_run () in
+  let waits2, evs2 = one_run () in
+  Obs.Gate.set_enabled false;
+  Scm.Config.reset ();
+  Alcotest.(check int) "backoff_waits equal" waits1 waits2;
+  Alcotest.(check int) "eight waits recorded" 8 (List.length evs1);
+  Alcotest.(check (list (pair int int))) "identical flight spin payloads"
+    evs1 evs2
+
 let () =
   Alcotest.run "htm"
     [
@@ -143,6 +187,8 @@ let () =
           Alcotest.test_case "read commit" `Quick test_read_commit;
           Alcotest.test_case "abort then fallback" `Quick test_abort_then_fallback;
           Alcotest.test_case "exception passthrough" `Quick test_exception_passthrough;
+          Alcotest.test_case "pinned backoff seed is deterministic" `Quick
+            test_backoff_seed_determinism;
         ] );
       ( "concurrency",
         [

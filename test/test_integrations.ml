@@ -88,6 +88,22 @@ let test_mc_bench_smoke () =
   Alcotest.(check bool) "get throughput positive" true
     (r.Kvstore.Mc_bench.get_throughput > 0.)
 
+let test_mc_bench_net_cost () =
+  (* the simulated-network knob must throttle throughput, not just run:
+     at 1 ms/request two clients cannot exceed ~2k requests/s *)
+  setup_concurrent ();
+  let c = mk_cache_fptree () in
+  let r =
+    Kvstore.Mc_bench.run ~clients:2 ~n_ops:200 ~value_len:64
+      ~net_cost_ns:1_000_000. c
+  in
+  Alcotest.(check bool) "set throughput positive" true
+    (r.Kvstore.Mc_bench.set_throughput > 0.);
+  Alcotest.(check bool) "network cost bounds set throughput" true
+    (r.Kvstore.Mc_bench.set_throughput < 10_000.);
+  Alcotest.(check bool) "network cost bounds get throughput" true
+    (r.Kvstore.Mc_bench.get_throughput < 10_000.)
+
 (* ---- TATP prototype database ---- *)
 
 let test_tatp_populate_and_query () =
@@ -167,6 +183,7 @@ let () =
           Alcotest.test_case "item store growth" `Quick test_cache_item_store_growth;
           Alcotest.test_case "all backends" `Quick test_cache_all_backends;
           Alcotest.test_case "mc-bench smoke" `Quick test_mc_bench_smoke;
+          Alcotest.test_case "mc-bench network cost" `Quick test_mc_bench_net_cost;
         ] );
       ( "tatp",
         [

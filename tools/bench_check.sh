@@ -154,6 +154,19 @@ echo "== chaos smoke (fixed-seed crash-recover-verify loop) =="
 "$CLI" chaos --seed 42 --iterations 60 --ops 30
 "$CLI" chaos --seed 42 --iterations 40 --ops 30 --checksums
 
+echo "== mcheck (DPOR schedule exploration of the concurrency protocol) =="
+# The whole catalog must explore to completion with zero
+# counterexamples (exit 2 = counterexample found, trace printed) ...
+"$CLI" mcheck
+# ... and the checker must still have teeth: with the PR 5 root-ver
+# hole re-opened, the find-vs-root-split scenario must FAIL (exit 2).
+if "$CLI" mcheck --scenario find-vs-root-split --regression > /dev/null 2>&1; then
+  echo "FAIL: mcheck missed the re-introduced root-ver validation hole"; exit 1
+fi
+echo "   regression root-ver hole caught (exit 2, as required)"
+# The lint gate above already enforces the shim discipline the checker
+# relies on (no direct Atomic in lib/fptree, no stray Domain.DLS).
+
 echo "== fsck smoke (corrupt -> detect -> repair -> clean) =="
 FSCK_IMG=/tmp/bench_check_fsck.scm
 rm -f "$FSCK_IMG"

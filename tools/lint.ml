@@ -15,7 +15,13 @@
      backdoors; obs owns the monotonic-clock stub);
    - [Unix.gettimeofday] outside lib/obs: wall clock steps under NTP,
      so all timing goes through [Obs.Clock] (monotonic); wall time is
-     dump metadata only, and [Obs.Clock.wall_s] is its one gateway.
+     dump metadata only, and [Obs.Clock.wall_s] is its one gateway;
+   - [Atomic.] inside lib/fptree and lib/baselines: every shared-state
+     access of the concurrency protocol must go through the [Htm.Sched]
+     shim, or the model checker cannot see (or schedule around) it;
+   - [Domain.DLS.new_key] outside lib/htm and lib/obs: hidden
+     per-domain cells are invisible state that breaks the checker's
+     deterministic replay.
 
    Comments and string/char literals are stripped first, so prose
    mentioning these identifiers is fine.  Usage:
@@ -201,7 +207,15 @@ let check_file path =
   if not (in_obs path) then
     bad "Unix.gettimeofday"
       "wall clock outside lib/obs: time with Obs.Clock (monotonic); wall \
-       time is dump metadata only (Obs.Clock.wall_s)"
+       time is dump metadata only (Obs.Clock.wall_s)";
+  if in_lib "fptree" path || in_lib "baselines" path then
+    bad "Atomic."
+      "direct Atomic on tree shared state: route through Htm.Sched so \
+       the model checker can interpose on every shared access";
+  if not (in_lib "htm" path || in_obs path) then
+    bad "Domain.DLS.new_key"
+      "per-domain state outside lib/htm and lib/obs: hidden DLS cells \
+       escape the model checker's deterministic replay"
 
 let rec walk path =
   if Sys.is_directory path then

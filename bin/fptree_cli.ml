@@ -31,6 +31,10 @@ let or_die f =
   | Failure msg -> die "%s" msg
   | Sys_error msg -> die "%s" msg
   | Invalid_argument msg -> die "%s" msg
+  | Pmem.Pptr.Unresolvable _ as e ->
+    (* typed dangling-pointer failure: the registered printer renders
+       the region id and offset on one line *)
+    die "%s" (Printexc.to_string e)
 
 let load_region path =
   or_die @@ fun () ->
@@ -137,10 +141,14 @@ let create_cmd =
     with_metrics metrics format trace flight @@ fun () ->
     Scm.Registry.clear ();
     let alloc = Pmem.Palloc.create ~size:(size_mb * 1024 * 1024) () in
-    ignore
-      (Fptree.Fixed.create
-         ~config:{ Fptree.Tree.fptree_config with Fptree.Tree.checksums }
-         alloc);
+    (match
+       Fptree.Tree.guard_space (fun () ->
+           Fptree.Fixed.create
+             ~config:{ Fptree.Tree.fptree_config with Fptree.Tree.checksums }
+             alloc)
+     with
+    | Ok _ -> ()
+    | Error `Out_of_space -> die "out of space: arena too small for an empty tree");
     save (Pmem.Palloc.region alloc) path;
     Printf.printf "created %s (%d MiB arena%s)\n" path size_mb
       (if checksums then ", per-leaf checksums" else "")
@@ -164,7 +172,20 @@ let put_cmd =
   let run metrics format trace flight path k v =
     with_metrics metrics format trace flight @@ fun () ->
     let region, t = load_tree path in
-    if not (Fptree.Fixed.insert t k v) then ignore (Fptree.Fixed.update t k v);
+    let refused () =
+      (* the tree is unchanged on a refusal; save anyway so any
+         emergency reclamation the attempt performed persists *)
+      save region path;
+      die "out of space: arena past the watermark or exhausted (%d bytes free)"
+        (Fptree.Fixed.bytes_free t)
+    in
+    (match Fptree.Fixed.try_insert t k v with
+    | Ok true -> ()
+    | Ok false -> (
+      match Fptree.Fixed.try_update t k v with
+      | Ok _ -> ()
+      | Error `Out_of_space -> refused ())
+    | Error `Out_of_space -> refused ());
     save region path;
     Printf.printf "%d -> %d\n" k v
   in
@@ -214,7 +235,14 @@ let stats_cmd =
     Printf.printf "leaves:      %d\n" (Fptree.Fixed.leaf_count t);
     Printf.printf "height:      %d (inner levels)\n" (Fptree.Fixed.height t);
     Printf.printf "SCM bytes:   %d\n" (Fptree.Fixed.scm_bytes t);
-    Printf.printf "DRAM bytes:  %d (rebuilt on recovery)\n" (Fptree.Fixed.dram_bytes t)
+    Printf.printf "DRAM bytes:  %d (rebuilt on recovery)\n"
+      (Fptree.Fixed.dram_bytes t);
+    Printf.printf "arena free:  %d bytes (watermark state %s)\n"
+      (Fptree.Fixed.bytes_free t)
+      (match Fptree.Fixed.watermark_state t with
+      | 0 -> "ok"
+      | 1 -> "degraded"
+      | _ -> "exhausted")
   in
   Cmd.v (Cmd.info "stats" ~doc:"tree statistics")
     Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg)
@@ -224,11 +252,24 @@ let fill_cmd =
     with_metrics metrics format trace flight @@ fun () ->
     let region, t = load_tree path in
     let base = Fptree.Fixed.count t in
-    for i = base + 1 to base + n do
-      ignore (Fptree.Fixed.insert t i (i * 10))
-    done;
+    let refused = ref false in
+    (try
+       for i = base + 1 to base + n do
+         match Fptree.Fixed.try_insert t i (i * 10) with
+         | Ok _ -> ()
+         | Error `Out_of_space ->
+           refused := true;
+           raise Exit
+       done
+     with Exit -> ());
+    (* save before reporting: on a refusal the inserts that were
+       admitted are kept, and the saved image is fsck-checkable *)
     save region path;
-    Printf.printf "inserted %d pairs (now %d keys)\n" n (Fptree.Fixed.count t)
+    let now = Fptree.Fixed.count t in
+    if !refused then
+      die "out of space after %d of %d inserts (%d bytes free); image saved"
+        (now - base) n (Fptree.Fixed.bytes_free t)
+    else Printf.printf "inserted %d pairs (now %d keys)\n" n now
   in
   Cmd.v (Cmd.info "fill" ~doc:"bulk-insert N sequential pairs")
     Term.(const run $ metrics_arg $ metrics_format_arg $ trace_arg $ flight_arg $ path_arg $ key_arg 1)
@@ -552,26 +593,39 @@ let fsck_cmd =
 (* ---- chaos: randomized crash-recover-verify loops ---- *)
 
 let chaos_cmd =
-  let run seed iterations ops checksums concurrent flight =
+  let run seed iterations ops checksums concurrent exhaustion flight =
     with_flight flight @@ fun () ->
     let base =
       if concurrent then Fptree.Tree.fptree_concurrent_config
       else Fptree.Tree.fptree_config
     in
     let config = { base with Fptree.Tree.checksums } in
-    match
-      Pmcheck.Chaos.run ~config ~seed ~iterations ~ops_per_iter:ops ()
-    with
-    | r ->
-      Printf.printf
-        "chaos: %d iterations ok (ops=%d clean=%d crashes=%d torn=%d \
-         alloc_failures=%d keys=%d)\n"
-        r.Pmcheck.Chaos.iterations r.Pmcheck.Chaos.ops r.Pmcheck.Chaos.clean
-        r.Pmcheck.Chaos.crashes r.Pmcheck.Chaos.torn
-        r.Pmcheck.Chaos.alloc_failures r.Pmcheck.Chaos.final_keys
-    | exception Pmcheck.Chaos.Divergence msg ->
-      prerr_endline ("fptree_cli: " ^ msg);
-      exit 2
+    if exhaustion then begin
+      match Pmcheck.Chaos.run_exhaustion ~config ~seed () with
+      | r ->
+        Printf.printf
+          "chaos: exhaustion scenario ok (admitted=%d refusals=%d \
+           boundary_ops=%d recovered_keys=%d)\n"
+          r.Pmcheck.Chaos.admitted r.Pmcheck.Chaos.refusals
+          r.Pmcheck.Chaos.boundary_ops r.Pmcheck.Chaos.recovered_keys
+      | exception Pmcheck.Chaos.Divergence msg ->
+        prerr_endline ("fptree_cli: " ^ msg);
+        exit 2
+    end
+    else
+      match
+        Pmcheck.Chaos.run ~config ~seed ~iterations ~ops_per_iter:ops ()
+      with
+      | r ->
+        Printf.printf
+          "chaos: %d iterations ok (ops=%d clean=%d crashes=%d torn=%d \
+           alloc_failures=%d keys=%d)\n"
+          r.Pmcheck.Chaos.iterations r.Pmcheck.Chaos.ops r.Pmcheck.Chaos.clean
+          r.Pmcheck.Chaos.crashes r.Pmcheck.Chaos.torn
+          r.Pmcheck.Chaos.alloc_failures r.Pmcheck.Chaos.final_keys
+      | exception Pmcheck.Chaos.Divergence msg ->
+        prerr_endline ("fptree_cli: " ^ msg);
+        exit 2
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed") in
   let iterations =
@@ -590,6 +644,15 @@ let chaos_cmd =
     Arg.(value & flag
          & info [ "concurrent" ] ~doc:"concurrent-FPTree configuration (m=64)")
   in
+  let exhaustion =
+    Arg.(value & flag
+         & info [ "exhaustion" ]
+             ~doc:
+               "run the capacity-exhaustion scenario instead: fill a small \
+                arena until the watermark refuses, verify degraded-mode \
+                serving, hammer the boundary, crash there and verify \
+                recovery (ignores $(b,--iterations)/$(b,--ops))")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -597,7 +660,7 @@ let chaos_cmd =
           oracle (mixed clean restarts, crashes, torn stores, allocation \
           failures); exits 2 on any divergence (the divergence report \
           names the $(b,--flight-dump) file when one is configured)")
-    Term.(const run $ seed $ iterations $ ops $ checksums $ concurrent $ flight_arg)
+    Term.(const run $ seed $ iterations $ ops $ checksums $ concurrent $ exhaustion $ flight_arg)
 
 (* ---- corrupt: deterministic damage injection (fsck's test subject) ---- *)
 

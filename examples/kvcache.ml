@@ -11,8 +11,8 @@ let () =
     Kvstore.Cache.create
       (Kvstore.Tree_ops.of_fptree_concurrent (Fptree.Var.create_concurrent arena))
   in
-  Kvstore.Cache.set cache "user:1001" "alice";
-  Kvstore.Cache.set cache "user:1002" "bob";
+  Kvstore.Cache.set_exn cache "user:1001" "alice";
+  Kvstore.Cache.set_exn cache "user:1002" "bob";
   (match Kvstore.Cache.get cache "user:1001" with
   | Some v -> Printf.printf "GET user:1001 -> %s\n%!" v
   | None -> assert false);

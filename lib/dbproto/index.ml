@@ -17,9 +17,11 @@ let all_kinds = [ FPTree; PTree; NVTree; WBTree; STXTree ]
 type t = {
   kind : kind;
   alloc : Pmem.Palloc.t option; (* None for the transient STXTree *)
-  insert : int -> int -> bool;
+  insert : int -> int -> (bool, [ `Out_of_space ]) result;
+      (** [Error `Out_of_space] when the index arena refused the write
+          (watermark admission or exhaustion); the index is unchanged. *)
   find : int -> int option;
-  update : int -> int -> bool;
+  update : int -> int -> (bool, [ `Out_of_space ]) result;
   delete : int -> bool;
   count : unit -> int;
 }
@@ -29,34 +31,46 @@ type t = {
 let nvtree_db_cap = 1024
 let nvtree_db_pln = 8
 
+(* The baselines (and the transient STXTree) predate the typed result
+   surface; route them through the blessed adapter so exhaustion comes
+   out as the same [`Out_of_space] the FPTree envelopes return. *)
+let guard2 f k v = Fptree.Tree.guard_space (fun () -> f k v)
+
 let wrap_fptree tr =
   { kind = FPTree; alloc = None;
-    insert = Fptree.Fixed.insert tr; find = Fptree.Fixed.find tr;
-    update = Fptree.Fixed.update tr; delete = Fptree.Fixed.delete tr;
+    insert = Fptree.Fixed.try_insert tr; find = Fptree.Fixed.find tr;
+    update = Fptree.Fixed.try_update tr; delete = Fptree.Fixed.delete tr;
     count = (fun () -> Fptree.Fixed.count tr) }
 
 let wrap_ptree tr =
   { kind = PTree; alloc = None;
-    insert = Fptree.Ptree.Fixed.insert tr; find = Fptree.Ptree.Fixed.find tr;
-    update = Fptree.Ptree.Fixed.update tr; delete = Fptree.Ptree.Fixed.delete tr;
+    insert = Fptree.Ptree.Fixed.try_insert tr; find = Fptree.Ptree.Fixed.find tr;
+    update = Fptree.Ptree.Fixed.try_update tr;
+    delete = Fptree.Ptree.Fixed.delete tr;
     count = (fun () -> Fptree.Ptree.Fixed.count tr) }
 
 let wrap_nvtree tr =
   { kind = NVTree; alloc = None;
-    insert = Baselines.Nvtree.Fixed.insert tr; find = Baselines.Nvtree.Fixed.find tr;
-    update = Baselines.Nvtree.Fixed.update tr; delete = Baselines.Nvtree.Fixed.delete tr;
+    insert = guard2 (Baselines.Nvtree.Fixed.insert tr);
+    find = Baselines.Nvtree.Fixed.find tr;
+    update = guard2 (Baselines.Nvtree.Fixed.update tr);
+    delete = Baselines.Nvtree.Fixed.delete tr;
     count = (fun () -> Baselines.Nvtree.Fixed.count tr) }
 
 let wrap_wbtree tr =
   { kind = WBTree; alloc = None;
-    insert = Baselines.Wbtree.Fixed.insert tr; find = Baselines.Wbtree.Fixed.find tr;
-    update = Baselines.Wbtree.Fixed.update tr; delete = Baselines.Wbtree.Fixed.delete tr;
+    insert = guard2 (Baselines.Wbtree.Fixed.insert tr);
+    find = Baselines.Wbtree.Fixed.find tr;
+    update = guard2 (Baselines.Wbtree.Fixed.update tr);
+    delete = Baselines.Wbtree.Fixed.delete tr;
     count = (fun () -> Baselines.Wbtree.Fixed.count tr) }
 
 let wrap_stxtree tr =
   { kind = STXTree; alloc = None;
-    insert = Baselines.Stxtree.Fixed.insert tr; find = Baselines.Stxtree.Fixed.find tr;
-    update = Baselines.Stxtree.Fixed.update tr; delete = Baselines.Stxtree.Fixed.delete tr;
+    insert = guard2 (Baselines.Stxtree.Fixed.insert tr);
+    find = Baselines.Stxtree.Fixed.find tr;
+    update = guard2 (Baselines.Stxtree.Fixed.update tr);
+    delete = Baselines.Stxtree.Fixed.delete tr;
     count = (fun () -> Baselines.Stxtree.Fixed.count tr) }
 
 (** Create a fresh index of [kind] in its own SCM arena. *)

@@ -51,6 +51,14 @@ let cf_key sf_row start_slot = (sf_row * 3) + start_slot
 (* deterministic per-row "random" attribute *)
 let attr seed a b = (seed * 2654435761) lxor (a * 40503) lxor b land 0x3fffffff
 
+(* Population and restart-rebuild treat exhaustion as fatal: the DB
+   arenas are sized to the subscriber count, so a refusal here is a
+   setup error, not a runtime condition to degrade through. *)
+let ins (idx : Index.t) k row =
+  match idx.Index.insert k row with
+  | Ok b -> b
+  | Error `Out_of_space -> failwith "Tatp: index arena out of space"
+
 let populate ?(arena_bytes = 64 * 1024 * 1024) ~subscribers kind =
   (* column footprint: 4 subscriber + 2x4 access-info + 2x4 special-
      facility + 2x12 call-forwarding 8-byte columns, plus slack *)
@@ -85,7 +93,7 @@ let populate ?(arena_bytes = 64 * 1024 * 1024) ~subscribers kind =
   for s_id = 1 to subscribers do
     let row = s_id - 1 in
     (* sequential population: the pattern that hurts the NV-Tree *)
-    ignore (db.sub_index.Index.insert s_id row);
+    ignore (ins db.sub_index s_id row);
     Column.set db.sub_nbr row (attr s_id 1 0);
     Column.set db.sub_bits row (attr s_id 2 0);
     Column.set db.sub_vlr row (attr s_id 3 0);
@@ -95,7 +103,7 @@ let populate ?(arena_bytes = 64 * 1024 * 1024) ~subscribers kind =
     for ai_type = 1 to n_ai do
       let r = db.ai_rows in
       db.ai_rows <- r + 1;
-      ignore (db.ai_index.Index.insert (ai_key s_id ai_type) r);
+      ignore (ins db.ai_index (ai_key s_id ai_type) r);
       Column.set db.ai_data12 r (attr s_id 5 ai_type);
       Column.set db.ai_data34 r (attr s_id 6 ai_type)
     done;
@@ -104,14 +112,14 @@ let populate ?(arena_bytes = 64 * 1024 * 1024) ~subscribers kind =
     for sf_type = 1 to n_sf do
       let r = db.sf_rows in
       db.sf_rows <- r + 1;
-      ignore (db.sf_index.Index.insert (sf_key s_id sf_type) r);
+      ignore (ins db.sf_index (sf_key s_id sf_type) r);
       Column.set db.sf_active r (if Random.State.int rng 100 < 85 then 1 else 0);
       Column.set db.sf_data r (attr s_id 7 sf_type);
       let n_cf = Random.State.int rng 4 in
       for cf = 0 to n_cf - 1 do
         let cr = db.cf_rows in
         db.cf_rows <- cr + 1;
-        ignore (db.cf_index.Index.insert (cf_key r cf) cr);
+        ignore (ins db.cf_index (cf_key r cf) cr);
         Column.set db.cf_end_time cr ((cf * 8) + 8);
         Column.set db.cf_numberx cr (attr s_id 8 cf)
       done
@@ -239,13 +247,13 @@ let restart ?(workers = 4) db =
       let sf_index = Index.create Index.STXTree in
       let cf_index = Index.create Index.STXTree in
       for s_id = 1 to db.subscribers do
-        ignore (sub_index.Index.insert s_id (s_id - 1))
+        ignore (ins sub_index s_id (s_id - 1))
       done;
       (* conservative: rebuild the other indexes from their old handles *)
       let reinsert (src : Index.t) (dst : Index.t) upper =
         for key = 0 to upper do
           match src.Index.find key with
-          | Some row -> ignore (dst.Index.insert key row)
+          | Some row -> ignore (ins dst key row)
           | None -> ()
         done
       in

@@ -35,3 +35,7 @@ let find_retries =
 let quarantined_leaves =
   Obs.Registry.counter "fptree_quarantined_leaves_total"
     ~help:"leaves quarantined by recovery checksum validation"
+
+let space_refused =
+  Obs.Registry.counter "fptree_space_refused_total"
+    ~help:"operations refused with Out_of_space (watermark or exhaustion)"

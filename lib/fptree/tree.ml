@@ -178,6 +178,10 @@ module Make (K : Keys.KEY) = struct
     (* leaves that failed checksum validation during recovery: spliced
        out of the chain but kept allocated for offline salvage *)
     mutable quarantined : int list;
+    (* capacity state: set on the first refused admission, cleared when
+       an allocating op is admitted again (flight events bracket the
+       transitions) *)
+    mutable degraded : bool;
   }
 
   let region t = t.ctx.Keys.region
@@ -704,16 +708,28 @@ module Make (K : Keys.KEY) = struct
     let log = Microlog.Pool.acquire t.split_logs in
     Microlog.set_fst log (pptr_of t leaf.Inner.off);
     let fresh =
-      if t.config.use_groups then begin
-        let l = get_leaf t in
-        Microlog.set_snd log (pptr_of t l);
-        l
-      end
-      else begin
-        Pmem.Palloc.alloc (alloc t) ~into:(Microlog.snd_loc log)
-          t.layout.Layout.bytes;
-        (Microlog.read_snd log).Pptr.off
-      end
+      match
+        if t.config.use_groups then begin
+          let l = get_leaf t in
+          Microlog.set_snd log (pptr_of t l);
+          l
+        end
+        else begin
+          Pmem.Palloc.alloc (alloc t) ~into:(Microlog.snd_loc log)
+            t.layout.Layout.bytes;
+          (Microlog.read_snd log).Pptr.off
+        end
+      with
+      | fresh -> fresh
+      | exception Pmem.Palloc.Out_of_scm ->
+        (* Exhaustion unwind: the allocator raises before any
+           persistent mutation, so the only armed state is this log's
+           fst word — reset disarms it and skips the still-null words,
+           restoring the exact pre-op bytes (the group log never armed:
+           [alloc] raises before writing its destination). *)
+        Microlog.reset log;
+        Microlog.Pool.release t.split_logs log;
+        raise Pmem.Palloc.Out_of_scm
     in
     let sep = do_split_steps t ~cur:leaf.Inner.off ~fresh in
     Microlog.reset log;
@@ -1097,7 +1113,14 @@ module Make (K : Keys.KEY) = struct
        this leaf abort instead of probing half-written entries.  Nests
        harmlessly inside a split's outer bracket on the same leaf. *)
     ver_begin t l;
-    write_entry t leaf slot k v h;
+    (match write_entry t leaf slot k v h with
+    | () -> ()
+    | exception e ->
+      (* Out-of-line key allocation failed: [K.write] allocates before
+         its first store, so the leaf bytes are untouched and the entry
+         was never committed — close the phase and unwind. *)
+      ver_end t l;
+      raise e);
     Layout.commit_bitmap (region t) ~leaf t.layout (bm lor (1 lsl slot));
     refresh_csum t leaf;
     ver_end t l
@@ -1133,17 +1156,44 @@ module Make (K : Keys.KEY) = struct
            only in the (unreachable) right leaf — a reader of [cur]
            must not validate there. *)
         ver_begin t leaf;
-        let sep, right = split_leaf t leaf in
-        let target = if K.compare k sep <= 0 then leaf else right in
-        insert_into_nonfull t target k v h;
-        Spec.with_write t.spec (fun () ->
-            Inner.update_parents t.inner K.compare ~sep ~right);
-        ver_end t leaf;
-        unlock t leaf;
-        true
+        match split_leaf t leaf with
+        | exception e ->
+          (* The split's own unwind ran (log disarmed, nothing
+             persisted): close the phase, release the lock, unwind. *)
+          ver_end t leaf;
+          unlock t leaf;
+          raise e
+        | sep, right ->
+          let target = if K.compare k sep <= 0 then leaf else right in
+          (match insert_into_nonfull t target k v h with
+          | () -> ()
+          | exception e ->
+            (* The split committed persistently before the out-of-line
+               key allocation failed.  The right sibling MUST still be
+               published to the parents before unwinding — its keys
+               would otherwise be unreachable to every future
+               traversal.  Not byte-identical to pre-op (the split
+               stands), but oracle-equivalent: the key set is
+               unchanged. *)
+            Spec.with_write t.spec (fun () ->
+                Inner.update_parents t.inner K.compare ~sep ~right);
+            ver_end t leaf;
+            unlock t leaf;
+            raise e);
+          Spec.with_write t.spec (fun () ->
+              Inner.update_parents t.inner K.compare ~sep ~right);
+          ver_end t leaf;
+          unlock t leaf;
+          true
       end
       else begin
-        insert_into_nonfull t leaf k v h;
+        (match insert_into_nonfull t leaf k v h with
+        | () -> ()
+        | exception e ->
+          (* Out-of-line key allocation failed pre-commit: the leaf is
+             untouched, but the lock must still be released. *)
+          unlock t leaf;
+          raise e);
         unlock t leaf;
         true
       end
@@ -1175,13 +1225,20 @@ module Make (K : Keys.KEY) = struct
          window until the parents reference the right sibling. *)
       ver_begin t leaf;
       let target, prev_slot, did_split, sep_right =
-        if leaf_is_full t leaf.Inner.off then begin
-          let sep, right = split_leaf t leaf in
-          let target = if K.compare k sep <= 0 then leaf else right in
-          let slot = find_slot t target.Inner.off k h in
-          assert (slot >= 0);
-          (target, slot, true, Some (sep, right))
-        end
+        if leaf_is_full t leaf.Inner.off then
+          match split_leaf t leaf with
+          | exception e ->
+            (* Exhaustion before any mutation (the split unwound):
+               close the phase, release the lock, leave the old entry
+               standing. *)
+            ver_end t leaf;
+            unlock t leaf;
+            raise e
+          | sep, right ->
+            let target = if K.compare k sep <= 0 then leaf else right in
+            let slot = find_slot t target.Inner.off k h in
+            assert (slot >= 0);
+            (target, slot, true, Some (sep, right))
         else (leaf, prev_slot0, false, None)
       in
       let tl = target.Inner.off in
@@ -1408,6 +1465,130 @@ module Make (K : Keys.KEY) = struct
           if Scm.Pmtrace.enabled () then
             scoped "delete" (fun () -> delete_op t k)
           else delete_op t k)
+
+  (* ---- capacity: admission control and the typed result surface ----
+
+     [try_insert]/[try_update] are the exception-free envelopes around
+     the allocating operations: a watermark admission check up front
+     (inserts only — updates in place must keep working arbitrarily
+     close to full), synchronous emergency reclamation on the refusal
+     path, and a typed [`Out_of_space] instead of an escaping
+     [Out_of_scm].  Below the watermark they add two DRAM reads and
+     zero allocations over the plain operations (test_hotpath pins
+     this). *)
+
+  (* Worst-case persistent footprint of one admitted insert: the split
+     path allocates one leaf (a whole group in amortized mode) plus,
+     for out-of-line keys, one variable key cell.  [Palloc.admit]'s
+     hard reserve is sized to this so an admitted insert always
+     completes. *)
+  let insert_reserve t =
+    let leaf_bytes =
+      if t.config.use_groups then group_bytes t else t.layout.Layout.bytes
+    in
+    Pmem.Palloc.gross_bytes leaf_bytes
+    + (if K.inline then 0
+       else Pmem.Palloc.gross_bytes (8 + Keys.max_var_key_len))
+
+  (* Emergency reclamation (refusal path only): retire fully-free leaf
+     groups parked in the volatile pool back to the allocator, then ask
+     the allocator to hand free tail blocks back to the arena.  Returns
+     the bytes returned to the bump region. *)
+  let reclaim_space t =
+    if t.config.use_groups then begin
+      let full =
+        Hashtbl.fold
+          (fun g n acc -> if !n = t.config.group_size then g :: acc else acc)
+          t.group_free []
+      in
+      List.iter (fun g -> free_group t g) full
+    end;
+    Pmem.Palloc.reclaim (alloc t)
+
+  let note_refused t ~op ~fp =
+    Obs.Counter.incr Metrics.space_refused;
+    if Obs.Gate.enabled () then begin
+      let free = Pmem.Palloc.bytes_free (alloc t) in
+      Obs.Flight.emit ~tag:Obs.Event.space_refused ~a:op ~b:fp ~c:free ~d:0;
+      if not t.degraded then
+        Obs.Flight.emit ~tag:Obs.Event.degraded_enter ~a:free ~b:0 ~c:0 ~d:0
+    end;
+    t.degraded <- true
+
+  let note_admitted t =
+    if t.degraded then begin
+      t.degraded <- false;
+      if Obs.Gate.enabled () then
+        Obs.Flight.emit ~tag:Obs.Event.degraded_leave
+          ~a:(Pmem.Palloc.bytes_free (alloc t)) ~b:0 ~c:0 ~d:0
+    end
+
+  let try_insert t k v =
+    let a = alloc t in
+    let reserve = insert_reserve t in
+    let admitted =
+      Pmem.Palloc.admit a ~reserve
+      || begin
+           (* Refused at the watermark: reclaim synchronously and retry
+              the admission once before giving up. *)
+           ignore (reclaim_space t);
+           Pmem.Palloc.admit a ~reserve
+         end
+    in
+    if not admitted then begin
+      note_refused t ~op:Obs.Event.op_insert ~fp:(K.fingerprint k);
+      Error `Out_of_space
+    end
+    else begin
+      note_admitted t;
+      match insert t k v with
+      | fresh -> Ok fresh
+      | exception Pmem.Palloc.Out_of_scm ->
+        (* The hard reserve makes this unreachable in normal operation;
+           if an injected (or pathological) failure gets here anyway
+           the op unwound cleanly — tree untouched — so surface the
+           same typed refusal. *)
+        ignore (reclaim_space t);
+        note_refused t ~op:Obs.Event.op_insert ~fp:(K.fingerprint k);
+        Error `Out_of_space
+    end
+
+  let try_update t k v =
+    (* No admission gate: updates in place must keep working past the
+       watermark.  Only the (rare) split-on-update path allocates, and
+       it unwinds cleanly on exhaustion. *)
+    match update t k v with
+    | updated -> Ok updated
+    | exception Pmem.Palloc.Out_of_scm ->
+      ignore (reclaim_space t);
+      note_refused t ~op:Obs.Event.op_update ~fp:(K.fingerprint k);
+      Error `Out_of_space
+
+  (* Deletes never allocate; the envelope exists so every mutating op
+     has the same typed signature at the upper layers. *)
+  let try_delete t k = Ok (delete t k)
+
+  let degraded t = t.degraded
+  let bytes_free t = Pmem.Palloc.bytes_free (alloc t)
+  let watermark_state t = Pmem.Palloc.watermark_state (alloc t)
+
+  (* ---- post-unwind invariant probes (exhaustion sweep tests) ---- *)
+
+  (* Every micro-log slot disarmed — a refused op must not leave one
+     armed (recovery would otherwise replay a phantom op). *)
+  let logs_idle t =
+    let ok = ref true in
+    let chk log = if not (Microlog.is_idle log) then ok := false in
+    Microlog.Pool.iter chk t.split_logs;
+    Microlog.Pool.iter chk t.delete_logs;
+    chk t.getleaf_log;
+    chk t.freeleaf_log;
+    !ok
+
+  (* The leaf currently covering [k] is not left locked by an unwound
+     op. *)
+  let leaf_locked_for t k =
+    is_locked (Inner.find_leaf K.compare t.inner.Inner.root k)
 
   (** Inclusive range scan via the leaf linked list.  Reads are dirty
       (no leaf locks taken); the result is sorted.  The leaf chain is
@@ -1637,6 +1818,7 @@ module Make (K : Keys.KEY) = struct
       scratch_slots = Array.make layout.Layout.m 0;
       stats = fresh_stats ();
       quarantined = [];
+      degraded = false;
     }
 
   (* Finish initialization: runs both on first creation and on recovery
@@ -1968,3 +2150,13 @@ module Make (K : Keys.KEY) = struct
               (List.hd ks) ks in
           prev_max := Some mx)
 end
+
+(** The one blessed adapter from the allocator's exhaustion exception
+    to the typed result surface.  Upper layers wrap allocating calls in
+    this (or use the [try_*] envelopes) instead of matching
+    [Out_of_scm] textually — the lint rule keeps the exception's name
+    out of every library above [lib/pmem]/[lib/fptree]. *)
+let guard_space f =
+  match f () with
+  | v -> Ok v
+  | exception Pmem.Palloc.Out_of_scm -> Error `Out_of_space

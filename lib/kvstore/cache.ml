@@ -93,24 +93,45 @@ let store_item t value =
   place ();
   id
 
-(** SET: insert or overwrite. *)
+(* Index half of a SET: insert, falling back to update when the key is
+   already present.  A refusal from either leg surfaces as
+   [`Out_of_space]; the index itself is unchanged in that case. *)
+let set_index t key id =
+  match t.index.Tree_ops.insert key id with
+  | Ok true -> Ok ()
+  | Ok false -> (
+    match t.index.Tree_ops.update key id with
+    | Ok _ -> Ok ()
+    | Error _ as e -> e)
+  | Error _ as e -> e
+
+(** SET: insert or overwrite.  [Error `Out_of_space] when the index
+    refused the write (its arena is past the watermark or exhausted);
+    the cache keeps serving GETs and overwrites of existing keys may
+    still succeed. *)
 let set t key value =
   if not (observing t) then begin
     let id = store_item t value in
-    with_global t (fun () ->
-        if not (t.index.Tree_ops.insert key id) then
-          ignore (t.index.Tree_ops.update key id))
+    with_global t (fun () -> set_index t key id)
   end
   else begin
     let fp = key_fp key in
     let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_set ~key:fp in
     let id = store_item t value in
-    with_global t (fun () ->
-        if not (t.index.Tree_ops.insert key id) then
-          ignore (t.index.Tree_ops.update key id));
-    let dur = Obs.Flight.op_end ~op:Obs.Event.op_set ~key:fp ~t0 ~ok:true in
-    Obs.Histogram.record h_set_us dur
+    let r = with_global t (fun () -> set_index t key id) in
+    let dur =
+      Obs.Flight.op_end ~op:Obs.Event.op_set ~key:fp ~t0 ~ok:(r = Ok ())
+    in
+    Obs.Histogram.record h_set_us dur;
+    r
   end
+
+(** [set] for callers that treat exhaustion as fatal (benches, tests
+    on arenas sized to the workload). *)
+let set_exn t key value =
+  match set t key value with
+  | Ok () -> ()
+  | Error `Out_of_space -> failwith "Cache.set: index out of space"
 
 (** GET. *)
 let get t key =

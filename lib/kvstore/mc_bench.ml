@@ -21,7 +21,7 @@ let run ?(clients = 8) ?(n_ops = 100_000) ?(value_len = 32) ?(net_cost_ns = 0.)
     let rng = Random.State.make [| 77; d |] in
     for _ = lo to hi - 1 do
       let k = key_of (Random.State.int rng n_ops) in
-      Cache.set cache k value;
+      Cache.set_exn cache k value;
       pay_network ()
     done
   in

@@ -5,8 +5,11 @@
 
 type t = {
   name : string;
-  insert : string -> int -> bool;
-  update : string -> int -> bool;
+  insert : string -> int -> (bool, [ `Out_of_space ]) result;
+      (** [Error `Out_of_space] when the index refused the insert
+          (watermark admission) or its arena is exhausted; the tree is
+          unchanged in that case. *)
+  update : string -> int -> (bool, [ `Out_of_space ]) result;
   find : string -> int option;
   delete : string -> bool;
   concurrent : bool;
@@ -22,8 +25,8 @@ type t = {
 let of_fptree_concurrent (tr : Fptree.Var.t) =
   {
     name = "FPTreeC";
-    insert = Fptree.Var.insert tr;
-    update = Fptree.Var.update tr;
+    insert = Fptree.Var.try_insert tr;
+    update = Fptree.Var.try_update tr;
     find = Fptree.Var.find tr;
     delete = Fptree.Var.delete tr;
     concurrent = true;
@@ -33,8 +36,8 @@ let of_fptree_concurrent (tr : Fptree.Var.t) =
 let of_fptree_single (tr : Fptree.Var.t) =
   {
     name = "FPTree";
-    insert = Fptree.Var.insert tr;
-    update = Fptree.Var.update tr;
+    insert = Fptree.Var.try_insert tr;
+    update = Fptree.Var.try_update tr;
     find = Fptree.Var.find tr;
     delete = Fptree.Var.delete tr;
     concurrent = false;
@@ -44,8 +47,8 @@ let of_fptree_single (tr : Fptree.Var.t) =
 let of_ptree (tr : Fptree.Ptree.Var.t) =
   {
     name = "PTree";
-    insert = Fptree.Ptree.Var.insert tr;
-    update = Fptree.Ptree.Var.update tr;
+    insert = Fptree.Ptree.Var.try_insert tr;
+    update = Fptree.Ptree.Var.try_update tr;
     find = Fptree.Ptree.Var.find tr;
     delete = Fptree.Ptree.Var.delete tr;
     concurrent = false;
@@ -55,8 +58,12 @@ let of_ptree (tr : Fptree.Ptree.Var.t) =
 let of_nvtree (tr : Baselines.Nvtree.Var.t) =
   {
     name = "NV-TreeC";
-    insert = Baselines.Nvtree.Var.insert tr;
-    update = Baselines.Nvtree.Var.update tr;
+    insert =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Nvtree.Var.insert tr k v));
+    update =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Nvtree.Var.update tr k v));
     find = Baselines.Nvtree.Var.find tr;
     delete = Baselines.Nvtree.Var.delete tr;
     concurrent = true;
@@ -66,8 +73,12 @@ let of_nvtree (tr : Baselines.Nvtree.Var.t) =
 let of_wbtree (tr : Baselines.Wbtree.Var.t) =
   {
     name = "wBTree";
-    insert = Baselines.Wbtree.Var.insert tr;
-    update = Baselines.Wbtree.Var.update tr;
+    insert =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Wbtree.Var.insert tr k v));
+    update =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Wbtree.Var.update tr k v));
     find = Baselines.Wbtree.Var.find tr;
     delete = Baselines.Wbtree.Var.delete tr;
     concurrent = false;
@@ -77,8 +88,12 @@ let of_wbtree (tr : Baselines.Wbtree.Var.t) =
 let of_stxtree (tr : Baselines.Stxtree.Var.t) =
   {
     name = "STXTree";
-    insert = Baselines.Stxtree.Var.insert tr;
-    update = Baselines.Stxtree.Var.update tr;
+    insert =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Stxtree.Var.insert tr k v));
+    update =
+      (fun k v ->
+        Fptree.Tree.guard_space (fun () -> Baselines.Stxtree.Var.update tr k v));
     find = Baselines.Stxtree.Var.find tr;
     delete = Baselines.Stxtree.Var.delete tr;
     concurrent = false;
@@ -96,19 +111,19 @@ let of_hashmap () =
     insert =
       (fun k v ->
         with_m (fun () ->
-            if Hashtbl.mem h k then false
+            if Hashtbl.mem h k then Ok false
             else begin
               Hashtbl.replace h k v;
-              true
+              Ok true
             end));
     update =
       (fun k v ->
         with_m (fun () ->
             if Hashtbl.mem h k then begin
               Hashtbl.replace h k v;
-              true
+              Ok true
             end
-            else false));
+            else Ok false));
     find = (fun k -> with_m (fun () -> Hashtbl.find_opt h k));
     delete =
       (fun k ->

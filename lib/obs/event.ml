@@ -29,7 +29,12 @@
     - [span]:       a = interned span-name id (see {!Flight.name_of}),
                     b = duration us; [t_us] is the span start
     - [persist_batch]: a = persists in this batch window,
-                    b = running per-domain persist total *)
+                    b = running per-domain persist total
+    - [space_refused]: a = op kind, b = key fingerprint, c = arena
+                    bytes free at refusal
+    - [degraded_enter] / [degraded_leave]: a = arena bytes free at the
+                    transition (enter: first refusal past the
+                    watermark; leave: an admission succeeded again) *)
 
 (* ---- record tags ---- *)
 
@@ -43,6 +48,9 @@ let merge = 7
 let root_swap = 8
 let span = 9
 let persist_batch = 10
+let space_refused = 11
+let degraded_enter = 12
+let degraded_leave = 13
 
 let tag_name = function
   | 1 -> "op_begin"
@@ -55,6 +63,9 @@ let tag_name = function
   | 8 -> "root_swap"
   | 9 -> "span"
   | 10 -> "persist_batch"
+  | 11 -> "space_refused"
+  | 12 -> "degraded_enter"
+  | 13 -> "degraded_leave"
   | t -> "tag_" ^ string_of_int t
 
 (* ---- op kinds (payload [a] of op_begin / op_end) ---- *)

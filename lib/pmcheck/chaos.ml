@@ -74,7 +74,8 @@ let matches t model =
 let disarm_all () =
   Scm.Config.disarm_crash ();
   Scm.Config.cancel_torn_store ();
-  Pmem.Palloc.cancel_alloc_failure ()
+  Pmem.Palloc.cancel_alloc_failure ();
+  Pmem.Palloc.cancel_out_of_scm ()
 
 let probe_key = key_space + 1_000_000
 
@@ -263,3 +264,173 @@ let sweep_recovery_crashes ?(mode = Scm.Config.Revert_all_dirty)
       incr k)
   done;
   { recovery_crash_points = !k - 1 }
+
+(* ---- capacity-exhaustion scenario ---- *)
+
+type exhaustion_report = {
+  admitted : int;        (** inserts admitted before the first refusal *)
+  refusals : int;        (** refused inserts across the whole scenario *)
+  boundary_ops : int;    (** delete/insert rounds at the watermark *)
+  recovered_keys : int;  (** tree size after the crash-at-watermark recovery *)
+}
+
+(* Like [verify_restart], but the usability probe goes through the
+   typed admission surface: near exhaustion a refusal is a legal
+   outcome, an escaping exception never is. *)
+let verify_exhausted ~where t a oracle pending =
+  (try F.check_invariants t
+   with Failure m -> failf "%s: invariant violation: %s" where m);
+  (if not (matches t oracle) then begin
+     match pending with
+     | Some op when
+         (let m' = Hashtbl.copy oracle in
+          Enumerate.apply_model m' op;
+          matches t m') ->
+       Enumerate.apply_model oracle op
+     | _ -> failf "%s: recovered tree diverges from oracle" where
+   end);
+  (match Pmem.Palloc.leaked_blocks a ~reachable:(F.reachable_blocks t) with
+  | [] -> ()
+  | l -> failf "%s: %d leaked blocks" where (List.length l));
+  match F.try_insert t probe_key 1 with
+  | Ok true ->
+    if F.find t probe_key <> Some 1 then failf "%s: tree unusable" where;
+    ignore (F.delete t probe_key)
+  | Ok false -> failf "%s: probe key already present" where
+  | Error `Out_of_space ->
+    (* refused: fine at exhaustion, but it must really be a refusal *)
+    if F.find t probe_key <> None then
+      failf "%s: refused insert left the probe key behind" where
+
+(** Fill a small arena through the admission surface until it refuses,
+    prove the degraded mode still serves (reads, in-place updates,
+    deletes), hammer the watermark boundary with delete/insert rounds,
+    crash there, and verify the recovered image — structurally, against
+    the oracle, and with an offline {!Fsck} audit. *)
+let run_exhaustion ?(arena_bytes = 192 * 1024)
+    ?(mode = Scm.Config.Revert_all_dirty)
+    ?(config = Fptree.Tree.fptree_config) ~seed () =
+  Scm.Registry.clear ();
+  Scm.Config.reset ();
+  Scm.Config.current.Scm.Config.backoff_seed <- Some seed;
+  let rng = Random.State.make [| 0x0C0A06; seed |] in
+  let a = Pmem.Palloc.create ~size:arena_bytes () in
+  let t = F.create ~config a in
+  let oracle = Hashtbl.create 1024 in
+  let where = Printf.sprintf "exhaustion seed=%d" seed in
+  (* 1. fill to the first refusal; every admitted insert must commit *)
+  let admitted = ref 0 and refusals = ref 0 in
+  let next_key = ref 0 in
+  let full = ref false in
+  while not !full do
+    incr next_key;
+    match F.try_insert t !next_key !next_key with
+    | Ok true ->
+      Hashtbl.replace oracle !next_key !next_key;
+      incr admitted
+    | Ok false -> failf "%s: duplicate insert at key %d" where !next_key
+    | Error `Out_of_space ->
+      incr refusals;
+      full := true;
+      if !admitted = 0 then failf "%s: arena refused the very first insert" where
+  done;
+  if F.watermark_state t = 0 then
+    failf "%s: refused an insert while below the soft watermark" where;
+  if not (F.degraded t) then
+    failf "%s: refusal did not enter degraded mode" where;
+  (* 2. degraded mode keeps serving: exact reads, in-place updates and
+     deletes (an update that needs a split may legally be refused) *)
+  if not (matches t oracle) then
+    failf "%s: refused insert changed the tree" where;
+  let upd_ok = ref 0 in
+  for _ = 1 to 16 do
+    let k = 1 + Random.State.int rng !next_key in
+    if Hashtbl.mem oracle k then begin
+      let v = Random.State.int rng 1_000_000 in
+      match F.try_update t k v with
+      | Ok true ->
+        Hashtbl.replace oracle k v;
+        incr upd_ok
+      | Ok false -> failf "%s: update lost key %d in degraded mode" where k
+      | Error `Out_of_space -> incr refusals
+    end
+  done;
+  if !upd_ok = 0 then
+    failf "%s: no in-place update succeeded in degraded mode" where;
+  (* 3. hammer the boundary: free a contiguous key run (emptying whole
+     leaves so reclamation has something to drain), then insert fresh
+     keys — each round either commits or refuses, never corrupts *)
+  let boundary_ops = ref 0 in
+  let run_len = max 16 (!admitted / 5) in
+  let lo = 1 + Random.State.int rng (max 1 (!admitted - run_len)) in
+  for k = lo to lo + run_len - 1 do
+    incr boundary_ops;
+    match F.try_delete t k with
+    | Ok existed ->
+      if existed <> Hashtbl.mem oracle k then
+        failf "%s: delete of key %d disagrees with oracle" where k;
+      Hashtbl.remove oracle k
+    | Error _ -> failf "%s: delete refused" where
+  done;
+  let readmitted = ref 0 in
+  for _ = 1 to run_len do
+    incr boundary_ops;
+    incr next_key;
+    match F.try_insert t !next_key !next_key with
+    | Ok true ->
+      Hashtbl.replace oracle !next_key !next_key;
+      incr readmitted
+    | Ok false -> failf "%s: duplicate insert at key %d" where !next_key
+    | Error `Out_of_space -> incr refusals
+  done;
+  if !readmitted = 0 then
+    failf "%s: freeing %d keys re-admitted no insert" where run_len;
+  if not (matches t oracle) then
+    failf "%s: tree diverged from oracle at the boundary" where;
+  (* 4. crash at the watermark, mid-hammering *)
+  Scm.Config.schedule_crash_after (1 + Random.State.int rng 64);
+  let pending = ref None in
+  let crashed = ref false in
+  (try
+     while not !crashed do
+       incr boundary_ops;
+       (* Half the ops land in the live key range: at the watermark an
+          insert of a fresh key is usually refused (no persists), so
+          only updates/deletes of existing keys keep the persist
+          counter moving toward the scheduled crash. *)
+       let window_lo = if Random.State.bool rng then 0 else !next_key in
+       let op = gen_op rng ~window_lo in
+       pending := Some op;
+       (match op with
+       | Enumerate.Ins (k, v) -> (
+         match F.try_insert t k v with
+         | Ok true -> Hashtbl.replace oracle k v
+         | Ok false -> ()
+         | Error `Out_of_space -> incr refusals)
+       | Enumerate.Upd (k, v) -> (
+         match F.try_update t k v with
+         | Ok true -> Hashtbl.replace oracle k v
+         | Ok false -> ()
+         | Error `Out_of_space -> incr refusals)
+       | Enumerate.Del k ->
+         (match F.try_delete t k with
+         | Ok true -> Hashtbl.remove oracle k
+         | Ok _ | Error _ -> ()));
+       pending := None
+     done
+   with Scm.Config.Crash_injected -> crashed := true);
+  disarm_all ();
+  let region = Pmem.Palloc.region a in
+  Scm.Region.crash ~mode region;
+  let a' = Pmem.Palloc.of_region region in
+  let t' = F.recover ~config a' in
+  verify_exhausted ~where:(where ^ " (post-crash)") t' a' oracle !pending;
+  (match Fsck.errors (Fsck.check region) with
+  | [] -> ()
+  | l -> failf "%s: fsck found %d errors after recovery" where (List.length l));
+  {
+    admitted = !admitted;
+    refusals = !refusals;
+    boundary_ops = !boundary_ops;
+    recovered_keys = F.count t';
+  }

@@ -62,3 +62,25 @@ val sweep_recovery_crashes :
     completes without reaching its k-th persist.  Raises
     {!Divergence} on failure and [Invalid_argument] when [crash_at]
     lies beyond the script's persist count. *)
+
+type exhaustion_report = {
+  admitted : int;        (** inserts admitted before the first refusal *)
+  refusals : int;        (** refused inserts across the whole scenario *)
+  boundary_ops : int;    (** delete/insert rounds at the watermark *)
+  recovered_keys : int;  (** tree size after the crash-at-watermark recovery *)
+}
+
+val run_exhaustion :
+  ?arena_bytes:int ->
+  ?mode:Scm.Config.crash_mode ->
+  ?config:Fptree.Tree.config ->
+  seed:int ->
+  unit ->
+  exhaustion_report
+(** The capacity-exhaustion scenario: fill a small arena through the
+    watermark admission surface until it refuses, prove the degraded
+    mode still serves reads / in-place updates / deletes, hammer the
+    watermark boundary with delete-then-insert rounds (freed space must
+    re-admit), crash mid-hammering, recover, and verify the image
+    structurally, against the oracle, and with an offline {!Fsck}
+    audit.  Raises {!Divergence} on any deviation. *)

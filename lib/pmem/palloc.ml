@@ -49,6 +49,7 @@ let magic = 0x4650414C4C4F4331L (* "FPALLOC1" *)
 let log_idle = 0L
 let log_alloc = 1L
 let log_free = 2L
+let log_reclaim = 3L
 
 (* Process-wide allocator telemetry (all arenas aggregated); the
    per-arena [alloc_count]/[free_count] stay volatile fields. *)
@@ -76,6 +77,17 @@ type t = {
   (* volatile op counters *)
   mutable allocs : int;
   mutable frees : int;
+  (* Volatile shadows of the capacity state, maintained under [mutex]:
+     admission control and the capacity gauges must not issue Region
+     accessor calls (which would perturb the pinned instrumented
+     counter traces), so [bytes_free] is pure DRAM arithmetic over
+     these two fields.  [v_bump = -1] means the shadows are unknown
+     (after [of_region]); the first capacity query rebuilds them with
+     a heap walk — deferred so that re-attaching an allocator stays
+     O(1) region reads (the baselines' instant-recovery bound counts
+     every line). *)
+  mutable v_bump : int;             (* mirrors the persistent bump; -1 = stale *)
+  mutable v_free_bytes : int;       (* gross bytes parked on free lists *)
 }
 
 let region t = t.region
@@ -148,10 +160,45 @@ let format region =
   Region.write_int64_atomic region off_magic magic;
   Region.persist region off_magic 8
 
+(* Weak registry of open arenas feeding the capacity gauges below
+   (registered at the end of this file, once the accessors exist).  An
+   arena re-opened over the same region replaces its predecessor's
+   slot, so restart loops do not double-count. *)
+let arenas : t Weak.t = Weak.create 64
+let arenas_lock = Mutex.create ()
+
+let register_arena t =
+  Mutex.lock arenas_lock;
+  let n = Weak.length arenas in
+  let slot = ref (-1) in
+  for i = 0 to n - 1 do
+    match Weak.get arenas i with
+    | None -> if !slot < 0 then slot := i
+    | Some a ->
+      if Region.id a.region = Region.id t.region then begin
+        Weak.set arenas i None;
+        if !slot < 0 then slot := i
+      end
+  done;
+  Weak.set arenas (if !slot >= 0 then !slot else 0) (Some t);
+  Mutex.unlock arenas_lock
+
+let live_arenas () =
+  let l = ref [] in
+  for i = Weak.length arenas - 1 downto 0 do
+    match Weak.get arenas i with Some a -> l := a :: !l | None -> ()
+  done;
+  !l
+
 let create ?(size = 64 * 1024 * 1024) () =
   let region = Scm.Registry.create ~size in
   format region;
-  { region; mutex = Mutex.create (); allocs = 0; frees = 0 }
+  let t =
+    { region; mutex = Mutex.create (); allocs = 0; frees = 0;
+      v_bump = heap_start; v_free_bytes = 0 }
+  in
+  register_arena t;
+  t
 
 exception Out_of_scm
 
@@ -183,6 +230,34 @@ let alloc_fires () =
     end
     else false
 
+(* ---- exhaustion injection ---- *)
+
+(* Same shape as the crash injector above, but raises {!Out_of_scm} —
+   the *recoverable* refusal every caller must unwind from cleanly
+   (Alloc_injected models a crash; Out_of_scm models a full arena the
+   process must survive).  Fires before any persistent mutation, like
+   the real bump-pointer check. *)
+let out_of_scm_nth = ref None
+let out_of_scm_count = ref 0
+
+let schedule_out_of_scm n =
+  out_of_scm_count := 0;
+  out_of_scm_nth := Some n
+
+let cancel_out_of_scm () = out_of_scm_nth := None
+let out_of_scm_armed () = !out_of_scm_nth <> None
+
+let out_of_scm_fires () =
+  match !out_of_scm_nth with
+  | None -> false
+  | Some n ->
+    incr out_of_scm_count;
+    if !out_of_scm_count >= n then begin
+      out_of_scm_nth := None;
+      true
+    end
+    else false
+
 (* ---- allocation ---- *)
 
 let alloc t ~(into : Pptr.Loc.loc) size =
@@ -190,6 +265,7 @@ let alloc t ~(into : Pptr.Loc.loc) size =
   let units = (size + unit_size - 1) / unit_size in
   if units > max_units then invalid_arg "Palloc.alloc: size too large";
   if alloc_fires () then raise Alloc_injected;
+  if out_of_scm_fires () then raise Out_of_scm;
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
   let r = t.region in
@@ -214,6 +290,9 @@ let alloc t ~(into : Pptr.Loc.loc) size =
     (Pptr.of_region r ~off:(payload_of_block block));
   (* 5. retire the log *)
   log_clear t;
+  if t.v_bump >= 0 then
+    if from_free_list then t.v_free_bytes <- t.v_free_bytes - gross_span units
+    else t.v_bump <- block + gross_span units;
   t.allocs <- t.allocs + 1;
   Obs.Counter.incr g_allocs
 
@@ -239,6 +318,7 @@ let free t ~(from : Pptr.Loc.loc) =
   write_head t units block;
   (* 4. retire the log *)
   log_clear t;
+  if t.v_bump >= 0 then t.v_free_bytes <- t.v_free_bytes + gross_span units;
   t.frees <- t.frees + 1;
   Obs.Counter.incr g_frees
 
@@ -307,17 +387,77 @@ let recover_free t =
   end;
   log_clear t
 
+(* Detach [block] from its size-class free list if present (no-op
+   otherwise) — shared by tail reclamation and its recovery, which must
+   be idempotent. *)
+let unlink_free t ~block ~units =
+  let head = read_head t units in
+  if head = block then write_head t units (block_next t block)
+  else begin
+    let p = ref head in
+    while !p <> 0 && block_next t !p <> block do
+      p := block_next t !p
+    done;
+    if !p <> 0 then write_block_next t !p (block_next t block)
+  end
+
+let recover_reclaim t =
+  let r = t.region in
+  let block = Int64.to_int (Region.read_int64 r off_log_block) in
+  let units = Int64.to_int (Region.read_int64 r off_log_units) in
+  (* Redo: unlink if still linked, lower the bump if still above.  Both
+     idempotent, so a crash inside this recovery converges on rerun. *)
+  unlink_free t ~block ~units;
+  if read_bump t > block then write_bump t block;
+  log_clear t
+
+(* Rebuild the volatile capacity shadows from the persistent heap.
+   O(blocks) region reads, so NOT run eagerly at open (the baselines'
+   instant-recovery bound counts every line): [of_region] leaves the
+   shadows stale ([v_bump = -1]) and the first capacity query pays for
+   the walk, under [mutex]. *)
+let recompute_shadows t =
+  let bump = read_bump t in
+  let free = ref 0 in
+  let off = ref heap_start in
+  while !off < bump do
+    let header = block_header t !off in
+    let units = block_units header in
+    if units = 0 || units > max_units then
+      failwith "Palloc: corrupt block header";
+    if not (block_allocated header) then free := !free + gross_span units;
+    off := !off + gross_span units
+  done;
+  t.v_free_bytes <- !free;
+  (* bump last: a concurrent [bytes_free] treats the shadows as valid
+     the instant it sees [v_bump >= 0] *)
+  t.v_bump <- bump
+
+(* Valid-shadow fast path reads two immutable-once-rebuilt ints; the
+   stale path rebuilds under the mutex (double-checked). *)
+let ensure_shadows t =
+  if t.v_bump < 0 then begin
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+    if t.v_bump < 0 then recompute_shadows t
+  end
+
 (** Re-attach an allocator to a region after a restart, completing or
     rolling back any in-flight operation. *)
 let of_region region =
   if Region.read_int64 region off_magic <> magic then
     failwith "Palloc.of_region: not an allocator arena";
-  let t = { region; mutex = Mutex.create (); allocs = 0; frees = 0 } in
+  let t =
+    { region; mutex = Mutex.create (); allocs = 0; frees = 0;
+      v_bump = -1; v_free_bytes = 0 }
+  in
   (match Region.read_int64 region off_log_state with
   | s when s = log_idle -> ()
   | s when s = log_alloc -> recover_alloc t
   | s when s = log_free -> recover_free t
+  | s when s = log_reclaim -> recover_reclaim t
   | s -> failwith (Printf.sprintf "Palloc: corrupt log state %Ld" s));
+  register_arena t;
   t
 
 (* ---- application root anchor ---- *)
@@ -368,3 +508,111 @@ let leaked_blocks t ~reachable =
 
 let alloc_count t = t.allocs
 let free_count t = t.frees
+
+(* ---- capacity accounting, admission control, tail reclamation ---- *)
+
+let size t = Region.size t.region
+let usable_bytes t = Region.size t.region - heap_start
+
+(* Pure DRAM arithmetic (shadow fields + a plain [Region.size] field
+   read) once the shadows are valid: callable from hot paths without
+   perturbing the instrumented SCM counter traces, and allocation-free.
+   The one-time rebuild after [of_region] is the only path that reads
+   the region. *)
+let bytes_free t =
+  ensure_shadows t;
+  Region.size t.region - t.v_bump + t.v_free_bytes
+
+let bytes_live t =
+  ensure_shadows t;
+  t.v_bump - heap_start - t.v_free_bytes
+
+(** Gross SCM footprint (header line included) of a [size]-byte
+    allocation — the quantum callers use to size hard reserves. *)
+let gross_bytes sz = gross_span ((sz + unit_size - 1) / unit_size)
+
+(* Bytes that must stay free for the arena to count as below the soft
+   watermark: usable * (1 - soft_watermark). *)
+let slack_bytes t =
+  let usable = usable_bytes t in
+  usable
+  - truncate (Scm.Config.current.Scm.Config.soft_watermark
+              *. float_of_int usable)
+
+(** Admission check for an allocating operation: [true] iff the arena
+    is below the soft watermark AND at least [reserve] bytes are free
+    (the hard reserve — sized by the caller to its worst-case
+    allocation footprint, so every admitted operation can complete).
+    Allocation-free; no SCM accessor calls. *)
+let admit t ~reserve =
+  let free = bytes_free t in
+  free >= slack_bytes t && free >= reserve
+
+(** 0 = below the soft watermark, 1 = past it but small allocations
+    still possible, 2 = exhausted (not even a 1-unit block fits). *)
+let watermark_state t =
+  let free = bytes_free t in
+  if free >= slack_bytes t then 0
+  else if free >= gross_span 1 then 1
+  else 2
+
+(** Tail reclamation: persistently lower the bump pointer over every
+    trailing free block, returning their gross bytes to the unallocated
+    frontier (where any size class can be carved from them — free-list
+    blocks only serve their own class).  Each step is exactly-once via
+    the operation log (state {!log_reclaim}): publish (block, units),
+    unlink from the size-class free list, lower the bump, retire the
+    log.  A crash anywhere replays idempotently in {!recover_reclaim}.
+    Returns the bytes reclaimed. *)
+let reclaim t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let reclaimed = ref 0 in
+  let again = ref true in
+  while !again do
+    let bump = read_bump t in
+    if bump <= heap_start then again := false
+    else begin
+      (* Find the heap's tail block (the one ending at [bump]). *)
+      let off = ref heap_start in
+      let last_off = ref heap_start and last_units = ref 0 in
+      let last_allocated = ref true in
+      while !off < bump do
+        let header = block_header t !off in
+        let units = block_units header in
+        if units = 0 || units > max_units then
+          failwith "Palloc.reclaim: corrupt block header";
+        last_off := !off;
+        last_units := units;
+        last_allocated := block_allocated header;
+        off := !off + gross_span units
+      done;
+      if !last_allocated then again := false
+      else begin
+        let block = !last_off and units = !last_units in
+        log_publish t ~state:log_reclaim
+          ~dest:(Pptr.Loc.make t.region off_scratch) ~block ~units;
+        unlink_free t ~block ~units;
+        write_bump t block;
+        log_clear t;
+        if t.v_bump >= 0 then begin
+          t.v_bump <- block;
+          t.v_free_bytes <- t.v_free_bytes - gross_span units
+        end;
+        reclaimed := !reclaimed + gross_span units
+      end
+    end
+  done;
+  !reclaimed
+
+(* Capacity gauges over all open arenas (the weak registry above):
+   total free bytes, and the worst watermark state. *)
+let () =
+  Obs.Registry.gauge "palloc_bytes_free"
+    ~help:"free SCM bytes across open arenas (frontier + free lists)"
+    (fun () -> List.fold_left (fun acc a -> acc + bytes_free a) 0
+        (live_arenas ()));
+  Obs.Registry.gauge "palloc_watermark_state"
+    ~help:"worst arena watermark state: 0 below, 1 past soft, 2 exhausted"
+    (fun () -> List.fold_left (fun acc a -> max acc (watermark_state a)) 0
+        (live_arenas ()))

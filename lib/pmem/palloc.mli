@@ -60,6 +60,20 @@ exception Alloc_injected
 val schedule_alloc_failure : int -> unit
 val cancel_alloc_failure : unit -> unit
 
+(** {1 Exhaustion injection}
+
+    Same shape as {!schedule_alloc_failure}, but the armed {!alloc}
+    raises {!Out_of_scm} — the recoverable refusal callers must unwind
+    from with the tree intact (where [Alloc_injected] models a crash).
+    Fires before any persistent mutation; self-disarming. *)
+
+val schedule_out_of_scm : int -> unit
+val cancel_out_of_scm : unit -> unit
+
+(** [true] while the exhaustion injector is armed (lets sweep tests
+    detect that a site count ran past the last allocation). *)
+val out_of_scm_armed : unit -> bool
+
 (** {1 Application root anchor} *)
 
 (** The well-known pointer cell applications use to find their data
@@ -84,3 +98,48 @@ val leaked_blocks : t -> reachable:int list -> int list
 
 val alloc_count : t -> int
 val free_count : t -> int
+
+(** {1 Capacity accounting & admission control}
+
+    All four accessors are pure DRAM arithmetic over volatile shadows
+    of the bump pointer and free-list population (maintained under the
+    arena mutex, rebuilt by {!of_region}): calling them issues no SCM
+    accessor calls and allocates nothing, so hot paths can consult them
+    without perturbing instrumented counter traces. *)
+
+(** Total region bytes. *)
+val size : t -> int
+
+(** Heap bytes an application can ever receive (region minus the
+    allocator header). *)
+val usable_bytes : t -> int
+
+(** Free bytes: unallocated frontier plus free-list blocks (gross,
+    headers included). *)
+val bytes_free : t -> int
+
+(** Gross bytes currently held by allocated blocks; equals
+    {!live_bytes} without the heap walk. *)
+val bytes_live : t -> int
+
+(** Gross SCM footprint (header included) of a [size]-byte allocation:
+    the quantum for sizing hard reserves. *)
+val gross_bytes : int -> int
+
+(** [admit t ~reserve] is [true] iff the arena is below the
+    [Scm.Config] soft watermark and at least [reserve] bytes are free.
+    Callers size [reserve] to their worst-case allocation footprint so
+    every admitted operation can complete.  Allocation-free. *)
+val admit : t -> reserve:int -> bool
+
+(** 0 = below the soft watermark, 1 = past it (small allocations still
+    possible), 2 = exhausted. *)
+val watermark_state : t -> int
+
+(** Persistently lower the bump pointer over every trailing free
+    block, returning those bytes to the unallocated frontier where any
+    size class can use them (free-list blocks only ever serve their own
+    class).  Exactly-once per block via the operation log; a crash at
+    any point replays idempotently on {!of_region}.  Returns the bytes
+    reclaimed. *)
+val reclaim : t -> int

@@ -19,11 +19,32 @@ let of_region r ~off = make ~region_id:(Scm.Region.id r) ~off
 
 let equal a b = a.region_id = b.region_id && a.off = b.off
 
+(** A persistent pointer that cannot be dereferenced in this process:
+    null ([region_id = 0]) or naming a region that is not open.  Typed
+    — carrying the failing id and offset — so diagnostic layers (CLI,
+    fsck) can render a one-line report instead of a backtrace. *)
+exception Unresolvable of { region_id : int; off : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unresolvable { region_id; off } ->
+      Some
+        (if region_id = 0 then
+           Printf.sprintf "Pptr.resolve: null persistent pointer (off %#x)"
+             off
+         else
+           Printf.sprintf
+             "Pptr.resolve: region %d not open (pointer <r%d:%#x>)"
+             region_id region_id off)
+    | _ -> None)
+
 (** Dereference: volatile (region, offset) pair, valid for this process
     lifetime only. *)
 let resolve p =
-  if is_null p then failwith "Pptr.resolve: null persistent pointer";
-  (Scm.Registry.find p.region_id, p.off)
+  if is_null p then raise (Unresolvable { region_id = 0; off = p.off });
+  match Scm.Registry.find_opt p.region_id with
+  | Some r -> (r, p.off)
+  | None -> raise (Unresolvable { region_id = p.region_id; off = p.off })
 
 (* ---- storage in SCM: two consecutive little-endian int64 words ---- *)
 

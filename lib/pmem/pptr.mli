@@ -18,9 +18,16 @@ val make : region_id:int -> off:int -> t
 val of_region : Scm.Region.t -> off:int -> t
 val equal : t -> t -> bool
 
+(** Raised by {!resolve} on a pointer that cannot be dereferenced in
+    this process: null ([region_id = 0]) or naming a region that is not
+    open.  Carries the failing coordinates so diagnostic layers can
+    print a one-liner instead of a backtrace; a printer is registered
+    with [Printexc]. *)
+exception Unresolvable of { region_id : int; off : int }
+
 (** Dereference to a volatile (region, offset) pair, valid for this
     process lifetime only.
-    @raise Failure on null or on a region that is not open. *)
+    @raise Unresolvable on null or on a region that is not open. *)
 val resolve : t -> Scm.Region.t * int
 
 (** {1 Storage in SCM} *)

@@ -70,6 +70,13 @@ type t = {
           seed produce identical [backoff_waits].  Pinned by the chaos
           and mcheck harnesses; [None] (default) keeps the
           cross-acquisition drift that de-synchronizes real domains. *)
+  mutable soft_watermark : float;
+      (** Capacity admission threshold as a fraction of the arena's
+          usable bytes: once live+bump usage passes this fraction,
+          allocating operations (inserts, splitting updates) are
+          refused with [`Out_of_space] while reads, in-place updates
+          and deletes keep running.  Plain field (gates no region
+          accessor, so no generation bump); default 0.9. *)
 }
 
 let default () = {
@@ -89,6 +96,7 @@ let default () = {
   torn_seed = 0;
   model_check = false;
   backoff_seed = None;
+  soft_watermark = 0.9;
 }
 
 let current = default ()
@@ -141,6 +149,7 @@ let reset () =
   set_tracing d.tracing;
   set_model_check d.model_check;
   current.backoff_seed <- d.backoff_seed;
+  current.soft_watermark <- d.soft_watermark;
   current.crash_after_persists <- d.crash_after_persists;
   current.persist_count <- d.persist_count;
   current.skip_nth_persist <- d.skip_nth_persist;

@@ -37,6 +37,13 @@ type t = {
           report identical [backoff_waits]; [None] (default) keeps the
           free-running per-domain Weyl sequence.  Set by direct field
           assignment (no hot path caches it). *)
+  mutable soft_watermark : float;
+      (** Capacity admission threshold as a fraction of the arena's
+          usable bytes (default 0.9): past it, allocating operations
+          are refused with [`Out_of_space] while reads, in-place
+          updates and deletes keep serving.  Plain field — it gates no
+          region accessor, so no generation bump; set by direct
+          assignment. *)
 }
 
 val default : unit -> t

@@ -24,6 +24,8 @@ let register r =
   Hashtbl.replace table id r;
   if id >= !next_id then next_id := id + 1
 
+let find_opt id = Hashtbl.find_opt table id
+
 let find id =
   match Hashtbl.find_opt table id with
   | Some r -> r

@@ -9,6 +9,8 @@ val create : size:int -> Region.t
     @raise Invalid_argument if the id is already open. *)
 val register : Region.t -> unit
 
+val find_opt : int -> Region.t option
+
 (** @raise Failure if the region is not open. *)
 val find : int -> Region.t
 

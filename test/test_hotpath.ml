@@ -91,6 +91,96 @@ let test_find_no_alloc () =
     (Printf.sprintf "find_value allocates nothing (saw %.1f words)" dw)
     true (dw = 0.)
 
+(* The watermark admission check on the guarded entry points is pure
+   DRAM arithmetic over the allocator's volatile shadows.  Below the
+   soft watermark [Palloc.admit]/[watermark_state] must allocate
+   nothing, and a guarded op's only minor-heap cost over the raw op is
+   its [Ok _] result cell (2 words). *)
+let test_admission_no_alloc () =
+  fast_mode ();
+  Scm.Registry.clear ();
+  let a = Pmem.Palloc.create ~size:(64 * 1024 * 1024) () in
+  let t = F.create_single a in
+  for i = 0 to 999 do
+    ignore (F.insert t (2 * i) i)
+  done;
+  (* Warm up: forces the allocator's lazy capacity-shadow rebuild and
+     any one-time setup in the guarded path. *)
+  ignore (Pmem.Palloc.bytes_free a);
+  for i = 0 to 99 do
+    ignore (F.try_update t (2 * i) i)
+  done;
+  (* The admission check itself allocates nothing. *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Pmem.Palloc.admit a ~reserve:4096);
+    ignore (Pmem.Palloc.watermark_state a)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "admit/watermark_state allocate nothing (saw %.1f words)"
+       dw)
+    true (dw = 0.);
+  (* A guarded update allocates only its [Ok bool] result cell (2
+     words per op): the watermark check adds nothing on top. *)
+  let n = 10_000 in
+  let w0 = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    ignore (F.try_update t (2 * (i mod 1000)) i)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "try_update costs one result cell per op (saw %.1f words for %d ops)"
+       dw n)
+    true (dw <= float_of_int (2 * n))
+
+(* Below the soft watermark the guarded entry points must drive
+   exactly the same SCM traffic as the raw ops: the admission check
+   never reads or writes the region. *)
+let test_admission_trace_identical () =
+  let trace use_guarded =
+    instrumented_mode ();
+    let t = fresh_tree () in
+    let rng = Random.State.make [| 7 |] in
+    Scm.Stats.reset ();
+    for _ = 1 to 20_000 do
+      let k = 2 * Random.State.int rng 2048 in
+      match Random.State.int rng 8 with
+      | 0 | 1 | 2 ->
+        if use_guarded then (
+          match F.try_insert t k k with
+          | Ok _ -> ()
+          | Error `Out_of_space -> Alcotest.fail "refused below watermark")
+        else ignore (F.insert t k k)
+      | 3 | 4 ->
+        if use_guarded then (
+          match F.try_update t k (k + 1) with
+          | Ok _ -> ()
+          | Error `Out_of_space -> Alcotest.fail "refused below watermark")
+        else ignore (F.update t k (k + 1))
+      | 5 ->
+        if use_guarded then ignore (F.try_delete t k)
+        else ignore (F.delete t k)
+      | _ -> ignore (F.find t k)
+    done;
+    let s = Scm.Stats.snapshot () in
+    fast_mode ();
+    s
+  in
+  let raw = trace false in
+  let guarded = trace true in
+  Alcotest.(check int) "same line reads" raw.Scm.Stats.line_reads
+    guarded.Scm.Stats.line_reads;
+  Alcotest.(check int) "same line writes" raw.Scm.Stats.line_writes
+    guarded.Scm.Stats.line_writes;
+  Alcotest.(check int) "same flushes" raw.Scm.Stats.flushes
+    guarded.Scm.Stats.flushes;
+  Alcotest.(check int) "same fences" raw.Scm.Stats.fences
+    guarded.Scm.Stats.fences;
+  Alcotest.(check int) "same persists" raw.Scm.Stats.persists
+    guarded.Scm.Stats.persists
+
 let test_m64_concurrent_fill () =
   fast_mode ();
   Scm.Registry.clear ();
@@ -116,6 +206,12 @@ let () =
       ( "allocation",
         [ Alcotest.test_case "find_value is allocation-free" `Quick
             test_find_no_alloc;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "watermark check is allocation-free" `Quick
+            test_admission_no_alloc;
+          Alcotest.test_case "guarded ops leave the counter trace unchanged"
+            `Quick test_admission_trace_identical;
         ] );
       ( "m64",
         [ Alcotest.test_case "concurrent config leaf fills" `Quick

@@ -18,9 +18,9 @@ let mk_cache_fptree () =
 let test_cache_set_get () =
   setup_concurrent ();
   let c = mk_cache_fptree () in
-  Kvstore.Cache.set c "hello" "world";
+  Kvstore.Cache.set_exn c "hello" "world";
   Alcotest.(check (option string)) "get" (Some "world") (Kvstore.Cache.get c "hello");
-  Kvstore.Cache.set c "hello" "mars";
+  Kvstore.Cache.set_exn c "hello" "mars";
   Alcotest.(check (option string)) "overwrite" (Some "mars") (Kvstore.Cache.get c "hello");
   Alcotest.(check (option string)) "miss" None (Kvstore.Cache.get c "absent");
   Alcotest.(check bool) "delete" true (Kvstore.Cache.delete c "hello");
@@ -32,7 +32,7 @@ let test_cache_item_store_growth () =
   setup_concurrent ();
   let c = mk_cache_fptree () in
   for i = 0 to 20_000 do
-    Kvstore.Cache.set c (Printf.sprintf "k%06d" i) (Printf.sprintf "v%06d" i)
+    Kvstore.Cache.set_exn c (Printf.sprintf "k%06d" i) (Printf.sprintf "v%06d" i)
   done;
   Alcotest.(check (option string)) "early key" (Some "v000000")
     (Kvstore.Cache.get c "k000000");
@@ -67,7 +67,7 @@ let test_cache_all_backends () =
       setup_concurrent ();
       let c = Kvstore.Cache.create (mk ()) in
       for i = 0 to 499 do
-        Kvstore.Cache.set c (Printf.sprintf "x%04d" i) (string_of_int i)
+        Kvstore.Cache.set_exn c (Printf.sprintf "x%04d" i) (string_of_int i)
       done;
       for i = 0 to 499 do
         let got = Kvstore.Cache.get c (Printf.sprintf "x%04d" i) in

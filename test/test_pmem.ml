@@ -35,8 +35,14 @@ let test_pptr_resolve () =
   Alcotest.(check bool) "resolves to same region" true (r == r');
   Alcotest.(check int) "offset preserved" 128 off;
   Alcotest.check_raises "null resolve fails"
-    (Failure "Pptr.resolve: null persistent pointer") (fun () ->
-      ignore (Pptr.resolve Pptr.null))
+    (Pptr.Unresolvable { region_id = 0; off = 0 }) (fun () ->
+      ignore (Pptr.resolve Pptr.null));
+  (* a pointer into a region that is not open carries its identity in
+     the typed exception *)
+  Alcotest.check_raises "unopened region resolve fails"
+    (Pptr.Unresolvable { region_id = 424242; off = 64 }) (fun () ->
+      ignore
+        (Pptr.resolve { Pptr.region_id = 424242; off = 64 }))
 
 let test_committed_write_crash_atomic () =
   let a = fresh () in

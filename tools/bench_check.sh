@@ -99,6 +99,19 @@ if [ "$persists" -le 0 ]; then
 fi
 echo "   scm_persists_total = $persists"
 
+# capacity gauges must be present: free bytes non-zero, watermark 0
+# (a 16 MiB arena with 20k keys is nowhere near the soft watermark)
+free_bytes=$("$CLI" metrics "$DUMP" | sed -n 's/^palloc_bytes_free .*value=\([0-9]*\).*/\1/p')
+wm_state=$("$CLI" metrics "$DUMP" | sed -n 's/^palloc_watermark_state .*value=\([0-9]*\).*/\1/p')
+if [ -z "$free_bytes" ] || [ "$free_bytes" -le 0 ]; then
+  echo "FAIL: palloc_bytes_free gauge missing or zero in $DUMP"; exit 1
+fi
+if [ "$wm_state" != "0" ]; then
+  echo "FAIL: palloc_watermark_state is '$wm_state', expected 0 below the watermark"
+  exit 1
+fi
+echo "   palloc_bytes_free = $free_bytes (watermark state $wm_state)"
+
 # a lookup must record probe-count samples with a sane mean (~1 key
 # probe per in-leaf search with fingerprints; <= 2 allows a false
 # positive in this short run)
@@ -182,5 +195,39 @@ fi
   echo "FAIL: region not clean after fsck --repair"; exit 1; }
 # the repaired region must still open and answer queries
 "$CLI" stats "$FSCK_IMG" > /dev/null
+
+echo "== capacity (watermark refusal -> degraded serving -> clean image) =="
+CAP_IMG=/tmp/bench_check_capacity.scm
+rm -f "$CAP_IMG"
+"$CLI" create "$CAP_IMG" --size-mb 1 > /dev/null
+# Overfill a 1 MiB arena: the fill must stop with exit 1 and a one-line
+# out-of-space error (never a backtrace), leaving the at-watermark
+# image saved and serviceable.
+if capout=$("$CLI" fill "$CAP_IMG" 200000 2>&1); then
+  echo "FAIL: overfilling a 1 MiB arena did not refuse"; exit 1
+fi
+echo "$capout" | grep -q 'out of space after .* image saved' || {
+  echo "FAIL: refusal was not the one-line out-of-space error:"
+  echo "$capout"; exit 1; }
+echo "   $capout"
+admitted=$(echo "$capout" | sed -n 's/.*out of space after \([0-9]*\) of.*/\1/p')
+# the saved image still serves reads and can report its watermark state
+val=$("$CLI" get "$CAP_IMG" 1) && [ -n "$val" ] || {
+  echo "FAIL: at-watermark image does not serve reads"; exit 1; }
+"$CLI" stats "$CAP_IMG" | grep -q 'watermark state degraded' || {
+  echo "FAIL: stats does not report the degraded watermark state"; exit 1; }
+"$CLI" stats "$CAP_IMG" | grep 'arena free' | sed 's/^/   /'
+# offline audit: every admitted insert is intact, nothing leaked
+fsck_out=$("$CLI" fsck "$CAP_IMG" --summary) || {
+  echo "FAIL: at-watermark image is not fsck-clean"; exit 1; }
+keys=$(echo "$fsck_out" | sed -n 's/.*keys=\([0-9]*\).*/\1/p')
+if [ "$keys" != "$admitted" ]; then
+  echo "FAIL: fsck counts $keys keys, fill admitted $admitted"; exit 1
+fi
+echo "   fsck clean at the watermark: every admitted key intact ($keys)"
+# the full scenario: fill -> refuse -> degraded serving -> crash at the
+# watermark -> recover -> fsck (exit 2 = divergence)
+"$CLI" chaos --exhaustion --seed 7
+"$CLI" chaos --exhaustion --seed 8
 
 echo "== done: /tmp/bench_check_hotpath.json, $DUMP, $TRACE =="

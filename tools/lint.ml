@@ -21,7 +21,11 @@
      shim, or the model checker cannot see (or schedule around) it;
    - [Domain.DLS.new_key] outside lib/htm and lib/obs: hidden
      per-domain cells are invisible state that breaks the checker's
-     deterministic replay.
+     deterministic replay;
+   - [Out_of_scm] outside lib/pmem and lib/fptree: allocator
+     exhaustion crosses into application layers only as the typed
+     [`Out_of_space] result ([Tree.guard_space] is the adapter), so a
+     raw match elsewhere marks a layer leak.
 
    Comments and string/char literals are stripped first, so prose
    mentioning these identifiers is fine.  Usage:
@@ -215,7 +219,12 @@ let check_file path =
   if not (in_lib "htm" path || in_obs path) then
     bad "Domain.DLS.new_key"
       "per-domain state outside lib/htm and lib/obs: hidden DLS cells \
-       escape the model checker's deterministic replay"
+       escape the model checker's deterministic replay";
+  if not (in_lib "pmem" path || in_lib "fptree" path) then
+    bad "Out_of_scm"
+      "Out_of_scm outside lib/pmem and lib/fptree: exhaustion surfaces \
+       to callers as the typed `Out_of_space result (Tree.guard_space \
+       is the one blessed adapter)"
 
 let rec walk path =
   if Sys.is_directory path then

@@ -509,6 +509,120 @@ let trace_cmd =
           nodes, serialization pressure, in-flight ops at dump time")
     Term.(const run $ dump_arg)
 
+(* ---- wear: SCM traffic attribution and wear telemetry ---- *)
+
+let wear_cmd =
+  let module A = Obs.Attrib in
+  let run path ops top heatmap_out =
+    (* Instrumented end to end: the attribution matrix and the spatial
+       heatmap only fill on the instrumented region paths. *)
+    Scm.Config.set_stats true;
+    Scm.Config.current.Scm.Config.wear_heatmap <- true;
+    let region, t = load_tree path in
+    (* Recovery already charged the matrix (recovery/alloc_meta rows);
+       reset so the report prices exactly the workload below. *)
+    Scm.Stats.reset ();
+    Scm.Region.clear_heatmap region;
+    let base = Fptree.Fixed.count t in
+    (* Deterministic mixed workload: fills (forcing splits), updates,
+       deletes, lookups — enough of each that every component row is
+       exercised. *)
+    or_die (fun () ->
+        match
+          Fptree.Tree.guard_space @@ fun () ->
+          for i = base + 1 to base + ops do
+            ignore (Fptree.Fixed.insert t i (i * 10))
+          done;
+          for i = base + 1 to base + ops do
+            if i mod 2 = 0 then ignore (Fptree.Fixed.update t i (i * 11));
+            if i mod 4 = 0 then ignore (Fptree.Fixed.delete t i);
+            ignore (Fptree.Fixed.find t i)
+          done;
+          ignore (Fptree.Fixed.reclaim_space t)
+        with
+        | Ok () -> ()
+        | Error `Out_of_space ->
+          failwith "out of space during the wear workload (use a larger image)");
+    let st = Fptree.Fixed.stats t in
+    (* (component x op) persist matrix, components as rows *)
+    Printf.printf "attribution (component x quantity, workload only):\n";
+    Printf.printf "  %-12s %12s %12s %10s %10s\n" "component" "store_bytes"
+      "line_writes" "flushes" "persists";
+    for c = 0 to A.n_comps - 1 do
+      let v q = A.comp_total ~comp:c q in
+      if v A.q_bytes + v A.q_lines + v A.q_flushes + v A.q_persists > 0 then
+        Printf.printf "  %-12s %12d %12d %10d %10d\n" A.comp_name.(c)
+          (v A.q_bytes) (v A.q_lines) (v A.q_flushes) (v A.q_persists)
+    done;
+    Printf.printf "\nwear report:\n%s\n"
+      (Format.asprintf "%a" Scm.Wear.pp_report (Scm.Wear.report ~k:top region));
+    let r = Scm.Wear.report ~k:top region in
+    if r.Scm.Wear.top <> [] then begin
+      Printf.printf "\nhottest lines (sampled writes, components):\n";
+      List.iter
+        (fun ls ->
+          Printf.printf "  line %-8d %8d  [%s]\n" ls.Scm.Wear.line
+            ls.Scm.Wear.count
+            (String.concat ","
+               (Scm.Wear.comp_names_of_mask ls.Scm.Wear.comps)))
+        r.Scm.Wear.top
+    end;
+    (* machine-readable line for the bench_check wear stage *)
+    Printf.printf
+      "\nworkload: inserts=%d splits=%d leaf_deletes=%d \
+       microlog_persists=%d\n"
+      ops st.Fptree.Tree.leaf_splits st.Fptree.Tree.leaf_deletes
+      (A.comp_total ~comp:A.comp_microlog A.q_persists);
+    (match heatmap_out with
+    | None -> ()
+    | Some p ->
+      let oc = open_out p in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (Obs.Json.to_string (Scm.Wear.heatmap_to_json region)));
+      Printf.eprintf "heatmap: dump -> %s\n" p);
+    (* the headline invariant, checked last so the report still prints *)
+    let rows = Scm.Wear.crosscheck () in
+    Printf.printf "\nattribution cross-check (matrix sums vs globals):\n";
+    List.iter
+      (fun row ->
+        Printf.printf "  %-12s global=%-12d matrix=%-12d %s\n"
+          row.Scm.Wear.quantity row.Scm.Wear.global row.Scm.Wear.matrix
+          (if row.Scm.Wear.global = row.Scm.Wear.matrix then "ok" else "MISMATCH"))
+      rows;
+    if not (Scm.Wear.crosscheck_ok rows) then begin
+      prerr_endline "fptree_cli: attribution mismatch (dropped or double charge)";
+      exit 2
+    end
+  in
+  let ops =
+    Arg.(value & opt int 2000
+         & info [ "ops" ] ~docv:"N" ~doc:"workload size (inserts; half \
+                                          updated, a quarter deleted)")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"hottest lines to list")
+  in
+  let heatmap_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heatmap" ] ~docv:"PATH"
+          ~doc:"dump the spatial line-write heatmap (sparse JSON; \
+                round-trips through Obs.Json)")
+  in
+  Cmd.v
+    (Cmd.info "wear"
+       ~doc:
+         "run an instrumented mixed workload against a tree image and \
+          report SCM wear telemetry: per-component write attribution, \
+          write amplification, line-write skew (Gini), hottest lines; \
+          exits 2 if the attribution matrix disagrees with the global \
+          counters")
+    Term.(const run $ path_arg $ ops $ top $ heatmap_out)
+
 (* ---- pmcheck: analyze a saved persistence trace ---- *)
 
 let pmcheck_cmd =
@@ -813,5 +927,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; put_cmd; get_cmd; del_cmd; range_cmd; stats_cmd; fill_cmd;
-            metrics_cmd; trace_cmd; pmcheck_cmd; fsck_cmd; chaos_cmd;
+            metrics_cmd; trace_cmd; wear_cmd; pmcheck_cmd; fsck_cmd; chaos_cmd;
             corrupt_cmd; mcheck_cmd ]))

@@ -123,12 +123,14 @@ module Var : KEY with type t = string = struct
     if len = 0 || len > max_var_key_len then
       invalid_arg "Var key length must be in [1, 4096]";
     let loc = Pmem.Pptr.Loc.make ctx.region off in
+    let c = Scope.enter Obs.Attrib.comp_ool_key in
     Pmem.Palloc.alloc ctx.alloc ~into:loc (8 + len);
     let p = Pmem.Pptr.Loc.read loc in
     let base = p.Pmem.Pptr.off in
     Scm.Region.write_int64 ctx.region base (Int64.of_int len);
     Scm.Region.write_string ctx.region (base + 8) k;
-    Scm.Region.persist ctx.region base (8 + len)
+    Scope.persist_in_scope ctx.region base (8 + len);
+    Scope.leave c
 
   let matches ctx ~off k = String.equal (read ctx ~off) k
   let cell_ref ctx ~off = Some (Pmem.Pptr.read ctx.region off)
@@ -136,9 +138,14 @@ module Var : KEY with type t = string = struct
   let move ctx ~src ~dst =
     Pmem.Pptr.write ctx.region dst (Pmem.Pptr.read ctx.region src)
 
-  let reset_ref ctx ~off = Pmem.Pptr.reset_committed ctx.region off
+  let reset_ref ctx ~off =
+    let c = Scope.enter Obs.Attrib.comp_ool_key in
+    Pmem.Pptr.reset_committed ctx.region off;
+    Scope.leave c
   let clear_cell ctx ~off = Pmem.Pptr.write ctx.region off Pmem.Pptr.null
 
   let dealloc ctx ~off =
-    Pmem.Palloc.free ctx.alloc ~from:(Pmem.Pptr.Loc.make ctx.region off)
+    let c = Scope.enter Obs.Attrib.comp_ool_key in
+    Pmem.Palloc.free ctx.alloc ~from:(Pmem.Pptr.Loc.make ctx.region off);
+    Scope.leave c
 end

@@ -91,8 +91,10 @@ let read_bitmap r ~leaf t = Scm.Region.read_word r (leaf + t.bitmap_off)
 (** Atomically publish a new validity bitmap and persist it: the single
     point at which an insert/delete/update becomes visible and durable. *)
 let commit_bitmap r ~leaf t bm =
+  let c = Scope.enter Obs.Attrib.comp_bitmap in
   Scm.Region.write_word_atomic r (leaf + t.bitmap_off) bm;
-  Scm.Region.persist r (leaf + t.bitmap_off) 8;
+  Scope.persist_in_scope r (leaf + t.bitmap_off) 8;
+  Scope.leave c;
   if Scm.Pmtrace.enabled () then
     Scm.Pmtrace.publish ~region:(Scm.Region.id r) ~off:(leaf + t.bitmap_off)
       ~len:8 "bitmap"
@@ -134,8 +136,13 @@ let find_first_zero t bm =
 (* ---- fingerprints ---- *)
 
 let read_fp r ~leaf t slot = Scm.Region.read_u8 r (leaf + t.fp_off + slot)
-let write_fp r ~leaf t slot v = Scm.Region.write_u8 r (leaf + t.fp_off + slot) v
-let persist_fp r ~leaf t slot = Scm.Region.persist r (leaf + t.fp_off + slot) 1
+let write_fp r ~leaf t slot v =
+  let c = Scope.enter Obs.Attrib.comp_fingerprint in
+  Scm.Region.write_u8 r (leaf + t.fp_off + slot) v;
+  Scope.leave c
+
+let persist_fp r ~leaf t slot =
+  Scope.persist ~comp:Obs.Attrib.comp_fingerprint r (leaf + t.fp_off + slot) 1
 
 (* ---- next pointer ---- *)
 
@@ -145,8 +152,10 @@ let read_next r ~leaf t = Pmem.Pptr.read r (leaf + t.next_off)
    under an armed micro-log (SplitLeaf step 8, DeleteLeaf step 4), which
    is exactly what the pmcheck analyzer verifies via this annotation. *)
 let write_next_persist r ~leaf t p =
+  let c = Scope.enter Obs.Attrib.comp_tree_meta in
   Pmem.Pptr.write r (leaf + t.next_off) p;
-  Scm.Region.persist r (leaf + t.next_off) Pmem.Pptr.size_bytes;
+  Scope.persist_in_scope r (leaf + t.next_off) Pmem.Pptr.size_bytes;
+  Scope.leave c;
   if Scm.Pmtrace.enabled () then
     Scm.Pmtrace.link_write ~region:(Scm.Region.id r) ~off:(leaf + t.next_off)
       ~len:Pmem.Pptr.size_bytes
@@ -154,14 +163,18 @@ let write_next_persist r ~leaf t p =
 (* ---- whole-leaf helpers ---- *)
 
 let zero_leaf r ~leaf t =
+  let c = Scope.enter Obs.Attrib.comp_kv in
   Scm.Region.fill r leaf t.bytes '\000';
-  Scm.Region.persist r leaf t.bytes
+  Scope.persist_in_scope r leaf t.bytes;
+  Scope.leave c
 
 (** Persistently copy the full content of [src] into [dst]
     (SplitLeaf step 6–7). *)
 let copy_leaf r t ~src ~dst =
+  let c = Scope.enter Obs.Attrib.comp_kv in
   Scm.Region.blit_internal r ~src ~dst ~len:t.bytes;
-  Scm.Region.persist r dst t.bytes
+  Scope.persist_in_scope r dst t.bytes;
+  Scope.leave c
 
 (* ---- optional per-leaf integrity checksum ---- *)
 
@@ -207,10 +220,12 @@ let write_checksum r ~leaf t =
   if t.checksums then begin
     let bm = read_bitmap r ~leaf t in
     let c = compute_checksum r ~leaf t bm in
+    let sc = Scope.enter Obs.Attrib.comp_bitmap in
     Scm.Region.write_word_atomic r (leaf + t.csum_off) c;
-    Scm.Region.persist r (leaf + t.csum_off) 8;
+    Scope.persist_in_scope r (leaf + t.csum_off) 8;
     Scm.Region.write_word_atomic r (leaf + t.csum_off + 8) bm;
-    Scm.Region.persist r (leaf + t.csum_off + 8) 8
+    Scope.persist_in_scope r (leaf + t.csum_off + 8) 8;
+    Scope.leave sc
   end
 
 (** Validate a leaf against its integrity cell.  {!Csum_stale} means

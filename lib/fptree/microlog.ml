@@ -29,11 +29,16 @@ let read_snd t = Pmem.Pptr.read t.region (t.off + Pmem.Pptr.size_bytes)
 (* Fields are published crash-atomically: a torn pointer must never be
    dereferenced by recovery. *)
 let set_fst t p =
+  let c = Scope.enter Obs.Attrib.comp_microlog in
   Pmem.Pptr.write_committed t.region t.off p;
+  Scope.leave c;
   if Scm.Pmtrace.enabled () then
     Scm.Pmtrace.log_arm ~region:(Scm.Region.id t.region) ~log:t.off
 
-let set_snd t p = Pmem.Pptr.write_committed t.region (t.off + Pmem.Pptr.size_bytes) p
+let set_snd t p =
+  let c = Scope.enter Obs.Attrib.comp_microlog in
+  Pmem.Pptr.write_committed t.region (t.off + Pmem.Pptr.size_bytes) p;
+  Scope.leave c
 
 let is_idle t = Pmem.Pptr.is_null (read_fst t)
 
@@ -46,15 +51,19 @@ let is_idle t = Pmem.Pptr.is_null (read_fst t)
    gets) — a redundant-flush site found by the pmcheck analyzer. *)
 let reset_word t off =
   if Scm.Region.read_word t.region off <> 0 then begin
+    let c = Scope.enter Obs.Attrib.comp_microlog in
     Scm.Region.write_word_atomic t.region off 0;
-    Scm.Region.persist t.region off 8
+    Scope.persist_in_scope t.region off 8;
+    Scope.leave c
   end
 
 (* Null one log word without persisting; returns whether it was dirty. *)
 let zap_word t off =
   Scm.Region.read_word t.region off <> 0
   && begin
+       let c = Scope.enter Obs.Attrib.comp_microlog in
        Scm.Region.write_word_atomic t.region off 0;
+       Scope.leave c;
        true
      end
 
@@ -75,7 +84,8 @@ let reset t =
   let d1 = zap_word t (t.off + 8) in               (* fst off *)
   let d2 = zap_word t (t.off + 16) in              (* snd id *)
   let d3 = zap_word t (t.off + 24) in              (* snd off *)
-  if d1 || d2 || d3 then Scm.Region.persist t.region (t.off + 8) 24
+  if d1 || d2 || d3 then
+    Scope.persist ~comp:Obs.Attrib.comp_microlog t.region (t.off + 8) 24
 
 let format t = reset t
 

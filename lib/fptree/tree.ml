@@ -203,15 +203,26 @@ module Make (K : Keys.KEY) = struct
   let read_meta_word t off = Int64.to_int (Region.read_int64 (region t) (t.meta + off))
 
   let write_meta_word t off v =
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
     Region.write_int64_atomic (region t) (t.meta + off) (Int64.of_int v);
-    Region.persist (region t) (t.meta + off) 8
+    Scope.persist_in_scope (region t) (t.meta + off) 8;
+    Scope.leave sc
 
   let read_head t = Pptr.read (region t) (t.meta + meta_head)
-  let write_head t p = Pptr.write_committed (region t) (t.meta + meta_head) p
+  let write_head t p =
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
+    Pptr.write_committed (region t) (t.meta + meta_head) p;
+    Scope.leave sc
   let read_group_head t = Pptr.read (region t) (t.meta + meta_group_head)
-  let write_group_head t p = Pptr.write_committed (region t) (t.meta + meta_group_head) p
+  let write_group_head t p =
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
+    Pptr.write_committed (region t) (t.meta + meta_group_head) p;
+    Scope.leave sc
   let read_group_tail t = Pptr.read (region t) (t.meta + meta_group_tail)
-  let write_group_tail t p = Pptr.write_committed (region t) (t.meta + meta_group_tail) p
+  let write_group_tail t p =
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
+    Pptr.write_committed (region t) (t.meta + meta_group_tail) p;
+    Scope.leave sc
 
   let pptr_of t off = Pptr.of_region (region t) ~off
 
@@ -345,17 +356,19 @@ module Make (K : Keys.KEY) = struct
     let r = region t in
     let koff = key_cell t leaf slot in
     let voff = value_cell t leaf slot in
+    let sc = Scope.enter Obs.Attrib.comp_kv in
     K.write t.ctx ~off:koff k;
     Region.write_word r voff v;
     if t.layout.Layout.value_bytes > 8 then
       Region.fill r (voff + 8) (t.layout.Layout.value_bytes - 8) '\000';
     (if t.layout.Layout.split_arrays then begin
-       if K.inline then Region.persist r koff K.cell_bytes;
-       Region.persist r voff t.layout.Layout.value_bytes
+       if K.inline then Scope.persist_in_scope r koff K.cell_bytes;
+       Scope.persist_in_scope r voff t.layout.Layout.value_bytes
      end
      else if K.inline then
-       Region.persist r koff (K.cell_bytes + t.layout.Layout.value_bytes)
-     else Region.persist r voff t.layout.Layout.value_bytes);
+       Scope.persist_in_scope r koff (K.cell_bytes + t.layout.Layout.value_bytes)
+     else Scope.persist_in_scope r voff t.layout.Layout.value_bytes);
+    Scope.leave sc;
     if t.layout.Layout.fingerprints then begin
       Layout.write_fp r ~leaf t.layout slot h;
       Layout.persist_fp r ~leaf t.layout slot
@@ -422,7 +435,10 @@ module Make (K : Keys.KEY) = struct
   let group_leaf t g i = g + 64 + (i * leaf_span t)
 
   let group_next t g = Pptr.read (region t) g
-  let write_group_next t g p = Pptr.write_committed (region t) g p
+  let write_group_next t g p =
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
+    Pptr.write_committed (region t) g p;
+    Scope.leave sc
 
   let register_group t g =
     Hashtbl.replace t.group_free g (ref 0);
@@ -470,7 +486,9 @@ module Make (K : Keys.KEY) = struct
       let log = t.getleaf_log in
       Pmem.Palloc.alloc (alloc t) ~into:(Microlog.fst_loc log) (group_bytes t);
       let g = (Microlog.read_fst log).Pptr.off in
+      let sc = Scope.enter Obs.Attrib.comp_tree_meta in
       Pptr.reset_committed (region t) g; (* group.next = null *)
+      Scope.leave sc;
       link_group t g;
       Microlog.reset log;
       register_group t g;
@@ -492,7 +510,9 @@ module Make (K : Keys.KEY) = struct
       let tail = read_group_tail t in
       if Pptr.is_null tail || tail.Pptr.off <> g then begin
         (* Crashed before the group was fully linked: redo. *)
+        let sc = Scope.enter Obs.Attrib.comp_tree_meta in
         Pptr.reset_committed (region t) g;
+        Scope.leave sc;
         link_group t g
       end;
       Microlog.reset log
@@ -680,11 +700,13 @@ module Make (K : Keys.KEY) = struct
   let clear_stale_cells t leaf =
     if not K.inline then begin
       let bm = leaf_bitmap t leaf in
+      let sc = Scope.enter Obs.Attrib.comp_kv in
       for s = 0 to t.layout.Layout.m - 1 do
         if bm land (1 lsl s) = 0 then K.clear_cell t.ctx ~off:(key_cell t leaf s)
       done;
-      Scm.Region.persist (region t) (leaf + t.layout.Layout.data_off)
-        (t.layout.Layout.bytes - t.layout.Layout.data_off)
+      Scope.persist_in_scope (region t) (leaf + t.layout.Layout.data_off)
+        (t.layout.Layout.bytes - t.layout.Layout.data_off);
+      Scope.leave sc
     end
 
   let do_split_steps t ~cur ~fresh =
@@ -1070,7 +1092,9 @@ module Make (K : Keys.KEY) = struct
       let h = K.fingerprint k in
       let s = !find_sample_tick + 1 in
       find_sample_tick := s;
-      if s land 15 = 0 then begin
+      if s land ((1 lsl Scm.Config.current.Scm.Config.flight_sample_shift) - 1)
+         = 0
+      then begin
         (* sampled: begin/end pair, measured latency; the pair also
            keeps "find in flight" visible in crash dumps *)
         let t0 = Obs.Flight.op_begin ~op:Obs.Event.op_find ~key:h in
@@ -1200,14 +1224,20 @@ module Make (K : Keys.KEY) = struct
     end
 
   let insert t k v =
-    if not (Obs.Gate.enabled ()) then
-      if Scm.Pmtrace.enabled () then scoped "insert" (fun () -> insert_op t k v)
-      else insert_op t k v
-    else
-      flight_op Obs.Event.op_insert (K.fingerprint k) (fun () ->
-          if Scm.Pmtrace.enabled () then
-            scoped "insert" (fun () -> insert_op t k v)
-          else insert_op t k v)
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_insert in
+    let r =
+      if not (Obs.Gate.enabled ()) then
+        if Scm.Pmtrace.enabled () then
+          scoped "insert" (fun () -> insert_op t k v)
+        else insert_op t k v
+      else
+        flight_op Obs.Event.op_insert (K.fingerprint k) (fun () ->
+            if Scm.Pmtrace.enabled () then
+              scoped "insert" (fun () -> insert_op t k v)
+            else insert_op t k v)
+    in
+    Obs.Attrib.restore_op ko;
+    r
 
   let update_op t k v =
     if stats_on () then t.stats.updates <- t.stats.updates + 1;
@@ -1249,16 +1279,18 @@ module Make (K : Keys.KEY) = struct
       if K.inline then write_entry t tl slot k v h
       else begin
         (* Var keys: reuse the existing key block (Algorithm 16). *)
+        let sc = Scope.enter Obs.Attrib.comp_kv in
         K.move t.ctx ~src:(key_cell t tl prev_slot) ~dst:(key_cell t tl slot);
         Region.write_word r (value_cell t tl slot) v;
         if t.layout.Layout.value_bytes > 8 then
           Region.fill r (value_cell t tl slot + 8)
             (t.layout.Layout.value_bytes - 8) '\000';
-        Region.persist r (key_cell t tl slot)
+        Scope.persist_in_scope r (key_cell t tl slot)
           (K.cell_bytes
           + if t.layout.Layout.split_arrays then 0 else t.layout.Layout.value_bytes);
         if t.layout.Layout.split_arrays then
-          Region.persist r (value_cell t tl slot) t.layout.Layout.value_bytes;
+          Scope.persist_in_scope r (value_cell t tl slot) t.layout.Layout.value_bytes;
+        Scope.leave sc;
         if t.layout.Layout.fingerprints then begin
           Layout.write_fp r ~leaf:tl t.layout slot h;
           Layout.persist_fp r ~leaf:tl t.layout slot
@@ -1279,14 +1311,20 @@ module Make (K : Keys.KEY) = struct
     end
 
   let update t k v =
-    if not (Obs.Gate.enabled ()) then
-      if Scm.Pmtrace.enabled () then scoped "update" (fun () -> update_op t k v)
-      else update_op t k v
-    else
-      flight_op Obs.Event.op_update (K.fingerprint k) (fun () ->
-          if Scm.Pmtrace.enabled () then
-            scoped "update" (fun () -> update_op t k v)
-          else update_op t k v)
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_update in
+    let r =
+      if not (Obs.Gate.enabled ()) then
+        if Scm.Pmtrace.enabled () then
+          scoped "update" (fun () -> update_op t k v)
+        else update_op t k v
+      else
+        flight_op Obs.Event.op_update (K.fingerprint k) (fun () ->
+            if Scm.Pmtrace.enabled () then
+              scoped "update" (fun () -> update_op t k v)
+            else update_op t k v)
+    in
+    Obs.Attrib.restore_op ko;
+    r
 
   type delete_decision =
     | Del_in_leaf of Inner.leaf_ref
@@ -1457,14 +1495,20 @@ module Make (K : Keys.KEY) = struct
       true
 
   let delete t k =
-    if not (Obs.Gate.enabled ()) then
-      if Scm.Pmtrace.enabled () then scoped "delete" (fun () -> delete_op t k)
-      else delete_op t k
-    else
-      flight_op Obs.Event.op_delete (K.fingerprint k) (fun () ->
-          if Scm.Pmtrace.enabled () then
-            scoped "delete" (fun () -> delete_op t k)
-          else delete_op t k)
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_delete in
+    let r =
+      if not (Obs.Gate.enabled ()) then
+        if Scm.Pmtrace.enabled () then
+          scoped "delete" (fun () -> delete_op t k)
+        else delete_op t k
+      else
+        flight_op Obs.Event.op_delete (K.fingerprint k) (fun () ->
+            if Scm.Pmtrace.enabled () then
+              scoped "delete" (fun () -> delete_op t k)
+            else delete_op t k)
+    in
+    Obs.Attrib.restore_op ko;
+    r
 
   (* ---- capacity: admission control and the typed result surface ----
 
@@ -1494,7 +1538,7 @@ module Make (K : Keys.KEY) = struct
      groups parked in the volatile pool back to the allocator, then ask
      the allocator to hand free tail blocks back to the arena.  Returns
      the bytes returned to the bump region. *)
-  let reclaim_space t =
+  let reclaim_space_op t =
     if t.config.use_groups then begin
       let full =
         Hashtbl.fold
@@ -1504,6 +1548,12 @@ module Make (K : Keys.KEY) = struct
       List.iter (fun g -> free_group t g) full
     end;
     Pmem.Palloc.reclaim (alloc t)
+
+  let reclaim_space t =
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_reclaim in
+    let bytes = reclaim_space_op t in
+    Obs.Attrib.restore_op ko;
+    bytes
 
   let note_refused t ~op ~fp =
     Obs.Counter.incr Metrics.space_refused;
@@ -1860,6 +1910,7 @@ module Make (K : Keys.KEY) = struct
      the pmcheck analyzer on the creation path. *)
   let write_meta_config t cfg =
     let r = region t in
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
     let w off v = Region.write_int64_atomic r (t.meta + off) (Int64.of_int v) in
     w meta_m cfg.m;
     w meta_value_bytes cfg.value_bytes;
@@ -1868,7 +1919,8 @@ module Make (K : Keys.KEY) = struct
     w meta_n_split cfg.n_split_logs;
     w meta_n_delete cfg.n_delete_logs;
     w meta_group_size cfg.group_size;
-    Region.persist r (t.meta + meta_m) (meta_group_size + 8 - meta_m)
+    Scope.persist_in_scope r (t.meta + meta_m) (meta_group_size + 8 - meta_m);
+    Scope.leave sc
 
   (* pmcheck bootstrap: drop stale lock/leaf tracking (recovery writes
      without leaf locks by design) and announce the leaf extent size so
@@ -1889,8 +1941,10 @@ module Make (K : Keys.KEY) = struct
     ignore (layout_of_config config ~key_cell_bytes:K.cell_bytes); (* validate *)
     Pmem.Palloc.alloc alloc ~into:(Pmem.Palloc.root_loc alloc) (meta_bytes config);
     let meta = (Pmem.Palloc.root alloc).Pptr.off in
+    let sc = Scope.enter Obs.Attrib.comp_tree_meta in
     Region.fill region meta (meta_bytes config) '\000';
-    Region.persist region meta (meta_bytes config);
+    Scope.persist_in_scope region meta (meta_bytes config);
+    Scope.leave sc;
     let ctx = { Keys.region; alloc } in
     let t = build_volatile ctx config meta in
     trace_tree_layout t;
@@ -1903,9 +1957,14 @@ module Make (K : Keys.KEY) = struct
     t
 
   let create ?config alloc =
-    if Scm.Pmtrace.enabled () then
-      scoped "create" (fun () -> create_op ?config alloc)
-    else create_op ?config alloc
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_create in
+    let t =
+      if Scm.Pmtrace.enabled () then
+        scoped "create" (fun () -> create_op ?config alloc)
+      else create_op ?config alloc
+    in
+    Obs.Attrib.restore_op ko;
+    t
 
   (* Rebuild the volatile side from the persistent leaves: Algorithm 9
      (and the leak audit of Algorithm 17 for var keys). *)
@@ -2000,7 +2059,9 @@ module Make (K : Keys.KEY) = struct
         match prev with
         | None -> write_head t p
         | Some leaf ->
-          Pptr.write_committed r (leaf + t.layout.Layout.next_off) p
+          let sc = Scope.enter Obs.Attrib.comp_recovery in
+          Pptr.write_committed r (leaf + t.layout.Layout.next_off) p;
+          Scope.leave sc
       in
       let sanitize p = if plausible_next t p then p else Pptr.null in
       let rec walk prev p =
@@ -2060,6 +2121,12 @@ module Make (K : Keys.KEY) = struct
     let ctx = { Keys.region; alloc } in
     let t = build_volatile ctx cfg meta in
     trace_tree_layout t;
+    (* Attribution: everything recovery touches that is not claimed by
+       a tighter scope (log replay -> microlog, splices -> recovery,
+       allocator fixups -> alloc_meta) is charged to (recovery,
+       recover). *)
+    let ko = Obs.Attrib.set_op Obs.Attrib.op_recover in
+    let kc = Obs.Attrib.set_component Obs.Attrib.comp_recovery in
     (* The recovery phases are timed as spans (Fig. 11: the paper's
        recovery-time claim is that log replay is O(logs) and the DRAM
        rebuild dominates, linear in leaves). *)
@@ -2078,6 +2145,8 @@ module Make (K : Keys.KEY) = struct
           quarantine_pass t);
     Obs.Trace.with_span "fptree.recovery.rebuild" (fun () ->
         rebuild_volatile t);
+    Obs.Attrib.restore_component kc;
+    Obs.Attrib.restore_op ko;
     t
 
   (** Offsets of every allocated block the tree can account for

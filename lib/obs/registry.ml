@@ -12,10 +12,20 @@
     existing instance); registration is mutex-protected, reads of
     registered metrics are lock-free. *)
 
+(** A read-through family of labeled series (e.g. the SCM attribution
+    matrix): [read] returns the non-zero [(label set, value)] pairs,
+    [lreset] zeroes the backing store so a registry reset starts a
+    fresh observation epoch (pass a no-op for pure views). *)
+type labeled = {
+  read : unit -> ((string * string) list * int) list;
+  lreset : unit -> unit;
+}
+
 type metric =
   | Counter of Counter.t
   | Gauge of (unit -> int)
   | Histogram of Histogram.t
+  | Labeled of labeled
 
 type entry = { name : string; help : string; metric : metric }
 
@@ -49,6 +59,9 @@ let histogram ?(help = "") name =
 
 let gauge ?(help = "") name f = ignore (register name help (Gauge f))
 
+let labeled ?(help = "") ?(reset = fun () -> ()) name read =
+  ignore (register name help (Labeled { read; lreset = reset }))
+
 let all () = List.rev !entries
 
 (** Reset every counter and histogram (gauges are read-through) and
@@ -59,6 +72,7 @@ let reset_all () =
       match e.metric with
       | Counter c -> Counter.reset c
       | Histogram h -> Histogram.reset h
+      | Labeled l -> l.lreset ()
       | Gauge _ -> ())
     (all ());
   Trace.clear ()
@@ -82,6 +96,18 @@ let to_text () =
       | Gauge f ->
         Printf.bprintf b "# TYPE %s gauge\n" e.name;
         Printf.bprintf b "%s %d\n" e.name (f ())
+      | Labeled l ->
+        Printf.bprintf b "# TYPE %s counter\n" e.name;
+        List.iter
+          (fun (labels, v) ->
+            let ls =
+              String.concat ","
+                (List.map
+                   (fun (k, lv) -> Printf.sprintf "%s=\"%s\"" k lv)
+                   labels)
+            in
+            Printf.bprintf b "%s{%s} %d\n" e.name ls v)
+          (l.read ())
       | Histogram h ->
         Printf.bprintf b "# TYPE %s histogram\n" e.name;
         let cum = ref 0 in
@@ -111,6 +137,23 @@ let json_of_metric = function
                (Counter.per_shard c)) );
       ]
   | Gauge f -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Int (f ())) ]
+  | Labeled l ->
+    Json.Obj
+      [
+        ("type", Json.Str "labeled");
+        ( "series",
+          Json.Arr
+            (List.map
+               (fun (labels, v) ->
+                 Json.Obj
+                   [
+                     ( "labels",
+                       Json.Obj
+                         (List.map (fun (k, lv) -> (k, Json.Str lv)) labels) );
+                     ("value", Json.Int v);
+                   ])
+               (l.read ())) );
+      ]
   | Histogram h ->
     Json.Obj
       [

@@ -149,6 +149,7 @@ let log_clear t =
 (* ---- creation / opening ---- *)
 
 let format region =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   Region.write_int64 region off_bump (Int64.of_int heap_start);
   Pptr.write region off_root Pptr.null;
   Region.write_int64 region off_log_state log_idle;
@@ -158,7 +159,8 @@ let format region =
   Region.persist region 0 heap_start;
   (* Magic last: a region is an allocator arena only once fully formatted. *)
   Region.write_int64_atomic region off_magic magic;
-  Region.persist region off_magic 8
+  Region.persist region off_magic 8;
+  Obs.Attrib.restore_component sc
 
 (* Weak registry of open arenas feeding the capacity gauges below
    (registered at the end of this file, once the accessors exist).  An
@@ -268,6 +270,7 @@ let alloc t ~(into : Pptr.Loc.loc) size =
   if out_of_scm_fires () then raise Out_of_scm;
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   let r = t.region in
   let from_free_list = read_head t units <> 0 in
   let block =
@@ -294,11 +297,13 @@ let alloc t ~(into : Pptr.Loc.loc) size =
     if from_free_list then t.v_free_bytes <- t.v_free_bytes - gross_span units
     else t.v_bump <- block + gross_span units;
   t.allocs <- t.allocs + 1;
-  Obs.Counter.incr g_allocs
+  Obs.Counter.incr g_allocs;
+  Obs.Attrib.restore_component sc
 
 let free t ~(from : Pptr.Loc.loc) =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   let r = t.region in
   let p = Pptr.Loc.read from in
   if Pptr.is_null p then invalid_arg "Palloc.free: pointer already null";
@@ -320,7 +325,8 @@ let free t ~(from : Pptr.Loc.loc) =
   log_clear t;
   if t.v_bump >= 0 then t.v_free_bytes <- t.v_free_bytes + gross_span units;
   t.frees <- t.frees + 1;
-  Obs.Counter.incr g_frees
+  Obs.Counter.incr g_frees;
+  Obs.Attrib.restore_component sc
 
 (** Crash-safe reclamation of an orphan: a block that is allocated in
     the heap but referenced by no persistent pointer (fsck's repair
@@ -330,13 +336,16 @@ let free t ~(from : Pptr.Loc.loc) =
     the orphan allocated (a later fsck finds and reclaims it again) or
     completes the free via the operation log. *)
 let free_orphan t ~payload =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   Pptr.write_persist t.region off_scratch
     (Pptr.of_region t.region ~off:payload);
+  Obs.Attrib.restore_component sc;
   free t ~from:(Pptr.Loc.make t.region off_scratch)
 
 (* ---- recovery ---- *)
 
 let recover_alloc t =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   let r = t.region in
   let block = Int64.to_int (Region.read_int64 r off_log_block) in
   let units = Int64.to_int (Region.read_int64 r off_log_units) in
@@ -363,9 +372,11 @@ let recover_alloc t =
     Pptr.write_persist dest_region dest_off
       (Pptr.of_region r ~off:(payload_of_block block));
     log_clear t
-  end
+  end;
+  Obs.Attrib.restore_component sc
 
 let recover_free t =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_alloc_meta in
   let r = t.region in
   let block = Int64.to_int (Region.read_int64 r off_log_block) in
   let units = Int64.to_int (Region.read_int64 r off_log_units) in
@@ -385,7 +396,8 @@ let recover_free t =
     write_block_next t block (read_head t units);
     write_head t units block
   end;
-  log_clear t
+  log_clear t;
+  Obs.Attrib.restore_component sc
 
 (* Detach [block] from its size-class free list if present (no-op
    otherwise) — shared by tail reclamation and its recovery, which must
@@ -402,6 +414,7 @@ let unlink_free t ~block ~units =
   end
 
 let recover_reclaim t =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_reclaim in
   let r = t.region in
   let block = Int64.to_int (Region.read_int64 r off_log_block) in
   let units = Int64.to_int (Region.read_int64 r off_log_units) in
@@ -409,7 +422,8 @@ let recover_reclaim t =
      idempotent, so a crash inside this recovery converges on rerun. *)
   unlink_free t ~block ~units;
   if read_bump t > block then write_bump t block;
-  log_clear t
+  log_clear t;
+  Obs.Attrib.restore_component sc
 
 (* Rebuild the volatile capacity shadows from the persistent heap.
    O(blocks) region reads, so NOT run eagerly at open (the baselines'
@@ -466,7 +480,10 @@ let root t = Pptr.read t.region off_root
 
 (** Persistently set the application root pointer.  Meant for one-time
     initialization (the 16-byte store is not atomic by itself). *)
-let set_root t p = Pptr.write_persist t.region off_root p
+let set_root t p =
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_tree_meta in
+  Pptr.write_persist t.region off_root p;
+  Obs.Attrib.restore_component sc
 
 let root_loc t = Pptr.Loc.make t.region off_root
 
@@ -567,6 +584,7 @@ let watermark_state t =
 let reclaim t =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let sc = Obs.Attrib.set_component Obs.Attrib.comp_reclaim in
   let reclaimed = ref 0 in
   let again = ref true in
   while !again do
@@ -603,6 +621,7 @@ let reclaim t =
       end
     end
   done;
+  Obs.Attrib.restore_component sc;
   !reclaimed
 
 (* Capacity gauges over all open arenas (the weak registry above):

@@ -77,6 +77,24 @@ type t = {
           refused with [`Out_of_space] while reads, in-place updates
           and deletes keep running.  Plain field (gates no region
           accessor, so no generation bump); default 0.9. *)
+  mutable flight_sample_shift : int;
+      (** Flight-recorder latency sampling: every [2^shift]-th find
+          records a measured begin/end pair with clock reads, the rest
+          a marker-only event (default 4, the historical 1/16 ratio).
+          Plain field — the sampling branch re-reads it per op, so no
+          generation bump; clamp is the caller's business ([0] means
+          every find is measured). *)
+  mutable wear_heatmap : bool;
+      (** Record a per-region, line-granularity shadow count of flushed
+          lines (the spatial wear heatmap) on the instrumented persist
+          path.  Plain field read inside the already-instrumented flush
+          loop, so no generation bump; off by default — the shadow
+          arrays cost size/64 words per region when first touched. *)
+  mutable heatmap_sample_shift : int;
+      (** Heatmap sampling: count every [2^shift]-th flushed line
+          (default 0 = exact counts).  Reported counts are scaled back
+          by [2^shift]; sampling trades spatial exactness for lower
+          instrumented-path cost on long runs. *)
 }
 
 let default () = {
@@ -97,6 +115,9 @@ let default () = {
   model_check = false;
   backoff_seed = None;
   soft_watermark = 0.9;
+  flight_sample_shift = 4;
+  wear_heatmap = false;
+  heatmap_sample_shift = 0;
 }
 
 let current = default ()
@@ -109,6 +130,10 @@ let current = default ()
 let mode_generation = ref 1
 
 let set_stats b =
+  (* Attribution scopes gate on the same switch as the counters they
+     feed: unconditional, so a direct [current.stats] write followed by
+     a same-value [set_stats] still lands the gate in the right state. *)
+  Obs.Attrib.set_enabled b;
   if current.stats <> b then begin
     current.stats <- b;
     incr mode_generation
@@ -150,6 +175,9 @@ let reset () =
   set_model_check d.model_check;
   current.backoff_seed <- d.backoff_seed;
   current.soft_watermark <- d.soft_watermark;
+  current.flight_sample_shift <- d.flight_sample_shift;
+  current.wear_heatmap <- d.wear_heatmap;
+  current.heatmap_sample_shift <- d.heatmap_sample_shift;
   current.crash_after_persists <- d.crash_after_persists;
   current.persist_count <- d.persist_count;
   current.skip_nth_persist <- d.skip_nth_persist;

@@ -44,6 +44,19 @@ type t = {
           updates and deletes keep serving.  Plain field — it gates no
           region accessor, so no generation bump; set by direct
           assignment. *)
+  mutable flight_sample_shift : int;
+      (** Flight-recorder latency sampling: every [2^shift]-th find
+          records a measured begin/end pair, the rest a marker-only
+          event.  Default 4 (the historical 1/16 ratio); 0 measures
+          every find.  Plain field, set by direct assignment. *)
+  mutable wear_heatmap : bool;
+      (** Record the per-region spatial write heatmap (line-granularity
+          shadow counts) on the instrumented persist path.  Off by
+          default; plain field, set by direct assignment. *)
+  mutable heatmap_sample_shift : int;
+      (** Heatmap sampling: count every [2^shift]-th flushed line
+          (default 0 = exact).  Reported counts are scaled back by
+          [2^shift].  Plain field, set by direct assignment. *)
 }
 
 val default : unit -> t
@@ -63,7 +76,10 @@ val current : t
     witness check. *)
 val mode_generation : int ref
 
+(** Also flips {!Obs.Attrib}'s scope gate, so write-attribution scopes
+    are live exactly when the counters they feed are. *)
 val set_stats : bool -> unit
+
 val set_crash_tracking : bool -> unit
 val set_delay_injection : bool -> unit
 

@@ -38,6 +38,17 @@ type t = {
      [!Config.mode_generation]. *)
   mutable fast : bool;
   mutable mode_gen : int;
+  (* Spatial wear heatmap: shadow write counts (and the component
+     bitmask of who wrote) per cache line, recorded in the instrumented
+     flush loop when [Config.current.wear_heatmap] is on.  Allocated
+     lazily on first recorded line ([size/64] words each, [[||]] until
+     then).  Plain arrays written without synchronization: concurrent
+     domains may lose individual increments, which is acceptable for a
+     (possibly sampled) spatial profile — the exactness invariant
+     belongs to the attribution matrix, not the heatmap. *)
+  mutable heat_counts : int array;
+  mutable heat_comps : int array;
+  mutable heat_tick : int;
 }
 
 let cache_slots = 8192 (* 8192 x 64B = 512 KiB simulated cache *)
@@ -53,6 +64,9 @@ let make ~id ~size =
     dirty = Hashtbl.create 1024;
     fast = false;
     mode_gen = 0; (* Config.mode_generation starts at 1: refresh on first use *)
+    heat_counts = [||];
+    heat_comps = [||];
+    heat_tick = 0;
   }
 
 let id t = t.id
@@ -300,6 +314,14 @@ let blit_to_bytes t off dst dst_off len =
 
 (* ---- writes (land in the volatile cache; durable only after persist) ---- *)
 
+(* Payload-byte accounting for the wear report's write-amplification
+   ratio: every instrumented store charges its span, including stores
+   that go on to tear (the torn prefix reached the medium).  Counted
+   before the store so the byte total is independent of injector
+   state. *)
+let[@inline] count_store_bytes len =
+  if Config.current.stats then Stats.add_store_bytes len
+
 let write_u8 t off v =
   if fast_mode t then begin
     check t off 1;
@@ -309,6 +331,7 @@ let write_u8 t off v =
     check t off 1;
     touch_lines t off 1;
     mark_dirty t off 1;
+    count_store_bytes 1;
     let c = Char.chr (v land 0xff) in
     let silent = tracing () && Bytes.get t.buf off = c in
     Bytes.set t.buf off c;
@@ -324,6 +347,7 @@ let write_u16 t off v =
     check t off 2;
     touch_lines t off 2;
     mark_dirty t off 2;
+    count_store_bytes 2;
     if Config.torn_fires () then
       tear_and_crash t off 2 (fun () -> Bytes.set_uint16_le t.buf off v)
     else begin
@@ -344,6 +368,7 @@ let write_int32 t off v =
     check t off 4;
     touch_lines t off 4;
     mark_dirty t off 4;
+    count_store_bytes 4;
     if Config.torn_fires () then
       tear_and_crash t off 4 (fun () -> Bytes.set_int32_le t.buf off v)
     else begin
@@ -360,6 +385,7 @@ let write_int64_instr ~tearable t off v =
   check t off 8;
   touch_lines t off 8;
   mark_dirty t off 8;
+  count_store_bytes 8;
   if tearable && Config.torn_fires () then
     tear_and_crash t off 8 (fun () -> Bytes.set_int64_le t.buf off v)
   else begin
@@ -413,6 +439,7 @@ let write_string t off s =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
+      count_store_bytes len;
       if len > 1 && Config.torn_fires () then
         tear_and_crash t off len (fun () -> Bytes.blit_string s 0 t.buf off len)
       else begin
@@ -430,6 +457,7 @@ let write_bytes t off b =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
+      count_store_bytes len;
       if len > 1 && Config.torn_fires () then
         tear_and_crash t off len (fun () -> Bytes.blit b 0 t.buf off len)
       else begin
@@ -451,6 +479,7 @@ let blit_internal t ~src ~dst ~len =
       touch_lines t src len;
       touch_lines t dst len;
       mark_dirty t dst len;
+      count_store_bytes len;
       if len > 1 && Config.torn_fires () then
         tear_and_crash t dst len (fun () -> Bytes.blit t.buf src t.buf dst len)
       else begin
@@ -470,6 +499,7 @@ let fill t off len c =
     else begin
       touch_lines t off len;
       mark_dirty t off len;
+      count_store_bytes len;
       if len > 1 && Config.torn_fires () then
         tear_and_crash t off len (fun () -> Bytes.fill t.buf off len c)
       else begin
@@ -481,6 +511,44 @@ let fill t off len c =
         trace_store t off len silent
       end
     end
+
+(* ---- spatial wear heatmap (instrumented flush loop only) ---- *)
+
+let heat_lines t = t.size / Cacheline.line_size
+
+let[@inline never] heat_alloc t =
+  t.heat_counts <- Array.make (heat_lines t) 0;
+  t.heat_comps <- Array.make (heat_lines t) 0
+
+(* Count (a sample of) flushed lines: every [2^heatmap_sample_shift]-th
+   flushed line of this region bumps its shadow count and records the
+   ambient component in the line's bitmask.  Shift 0 (default) counts
+   every line exactly. *)
+let[@inline] record_heat t line =
+  if Array.length t.heat_counts = 0 then heat_alloc t;
+  let tick = t.heat_tick + 1 in
+  t.heat_tick <- tick;
+  if tick land ((1 lsl Config.current.heatmap_sample_shift) - 1) = 0 then begin
+    Array.unsafe_set t.heat_counts line
+      (Array.unsafe_get t.heat_counts line + 1);
+    Array.unsafe_set t.heat_comps line
+      (Array.unsafe_get t.heat_comps line
+      lor (1 lsl Obs.Attrib.ambient_component ()))
+  end
+
+(** The recorded heatmap as [(counts, component_masks)] per line, or
+    [None] if nothing was recorded.  The arrays are the live backing
+    store — copy before mutating. *)
+let heatmap t =
+  if Array.length t.heat_counts = 0 then None
+  else Some (t.heat_counts, t.heat_comps)
+
+let clear_heatmap t =
+  if Array.length t.heat_counts > 0 then begin
+    Array.fill t.heat_counts 0 (Array.length t.heat_counts) 0;
+    Array.fill t.heat_comps 0 (Array.length t.heat_comps) 0
+  end;
+  t.heat_tick <- 0
 
 (* ---- persistence primitives ---- *)
 
@@ -523,7 +591,8 @@ let persist_effective t off len =
       for line = first to last do
         if Config.current.stats then begin
           Stats.incr_flushes ();
-          Stats.incr_line_writes ()
+          Stats.incr_line_writes ();
+          if Config.current.wear_heatmap then record_heat t line
         end;
         Latency.on_scm_write_back ();
         (* CLFLUSH evicts the line from the simulated cache. *)

@@ -90,6 +90,25 @@ val persist : t -> int -> int -> unit
 (** Flush the whole region. *)
 val persist_all : t -> unit
 
+(** {1 Spatial wear heatmap}
+
+    When [Config.current.wear_heatmap] is on, the instrumented flush
+    loop records (a sample of — see [Config.heatmap_sample_shift]) the
+    flushed lines in per-region shadow arrays: a write count and a
+    component bitmask (bit = [Obs.Attrib] component index) per cache
+    line.  Unsynchronized by design: the spatial profile may lose
+    increments under concurrent domains; exactness belongs to the
+    attribution matrix. *)
+
+(** Number of cache lines the heatmap covers ([size / 64]). *)
+val heat_lines : t -> int
+
+(** [(counts, component_masks)] per line, or [None] if nothing was
+    recorded.  Returns the live arrays — copy before mutating. *)
+val heatmap : t -> (int array * int array) option
+
+val clear_heatmap : t -> unit
+
 (** {1 Crash simulation} *)
 
 (** Simulate a power failure: unflushed words lose their volatile value

@@ -41,10 +41,36 @@ let persists_c =
   Obs.Registry.counter "scm_persists_total"
     ~help:"persist() calls (flush+fence pairs)"
 
+(* Payload bytes stored through the instrumented write paths — the
+   numerator-side input of the wear report's write-amplification ratio
+   (64 × line_writes / store_bytes).  Not part of {!snapshot}: the
+   five-field record is pinned by the committed BENCH_hotpath.json
+   counter traces. *)
+let store_bytes_c =
+  Obs.Registry.counter "scm_store_bytes_total"
+    ~help:"payload bytes stored through instrumented region writes"
+
+(* Each increment below also charges the ambient (component, op) cell
+   of the {!Obs.Attrib} matrix, same call, same count — which is why
+   matrix sums equal these globals exactly. *)
+
 let[@inline] incr_line_reads () = Obs.Counter.incr line_reads_c
-let[@inline] incr_line_writes () = Obs.Counter.incr line_writes_c
-let[@inline] incr_flushes () = Obs.Counter.incr flushes_c
+
+let[@inline] incr_line_writes () =
+  Obs.Counter.incr line_writes_c;
+  Obs.Attrib.add_line ()
+
+let[@inline] incr_flushes () =
+  Obs.Counter.incr flushes_c;
+  Obs.Attrib.add_flush ()
+
 let[@inline] incr_fences () = Obs.Counter.incr fences_c
+
+let[@inline] add_store_bytes n =
+  Obs.Counter.add store_bytes_c n;
+  Obs.Attrib.add_bytes n
+
+let store_bytes () = Obs.Counter.value store_bytes_c
 
 (* Persist-batch markers for the flight recorder: one event per
    [persist_batch_window] persists on the calling domain, so a crash
@@ -56,6 +82,7 @@ let persist_batch_window = 256
 
 let[@inline] incr_persists () =
   Obs.Counter.incr persists_c;
+  Obs.Attrib.add_persist ();
   if Obs.Gate.enabled () then
     Obs.Flight.persist_tick ~batch:persist_batch_window
 
@@ -64,7 +91,11 @@ let reset () =
   Obs.Counter.reset line_writes_c;
   Obs.Counter.reset flushes_c;
   Obs.Counter.reset fences_c;
-  Obs.Counter.reset persists_c
+  Obs.Counter.reset persists_c;
+  Obs.Counter.reset store_bytes_c;
+  (* Keep the attribution matrix in lock-step with the globals it must
+     sum to: one reset epoch for both. *)
+  Obs.Attrib.reset ()
 
 let snapshot () = {
   line_reads = Obs.Counter.value line_reads_c;

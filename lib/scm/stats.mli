@@ -23,6 +23,15 @@ val incr_flushes : unit -> unit
 val incr_fences : unit -> unit
 val incr_persists : unit -> unit
 
+(** Payload bytes stored through the instrumented write paths; feeds
+    the wear report's write-amplification denominator.  Charged to the
+    Obs.Attrib matrix like the counters above, but deliberately NOT
+    part of {!snapshot} (that record is pinned by committed bench
+    traces).  Registered as [scm_store_bytes_total]. *)
+val add_store_bytes : int -> unit
+
+val store_bytes : unit -> int
+
 val reset : unit -> unit
 val snapshot : unit -> snapshot
 val diff : snapshot -> snapshot -> snapshot

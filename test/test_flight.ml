@@ -347,6 +347,44 @@ let test_fsck_error_dump () =
         true (contains reason "fsck"));
   Sys.remove path
 
+(* ---- find-latency sampling ratio tracks the config knob ---- *)
+
+let test_sample_shift_knob () =
+  (* Hot finds emit a measured op_begin/op_end pair only every
+     2^flight_sample_shift ops, the rest a latency-free marker (op_end
+     with c = -1).  Over any window of k * 2^shift consecutive finds
+     the measured count is exactly k, whatever the tick phase. *)
+  Scm.Config.reset ();
+  Scm.Config.set_stats true;
+  Obs.Gate.set_enabled true;
+  let a = Pmem.Palloc.create ~size:(8 * 1024 * 1024) () in
+  let t = F.create_single ~m:16 a in
+  for i = 1 to 512 do ignore (F.insert t i i) done;
+  let measure shift finds =
+    Scm.Config.current.Scm.Config.flight_sample_shift <- shift;
+    FL.reset ();
+    for i = 1 to finds do ignore (F.find t ((i mod 512) + 1)) done;
+    let ends =
+      List.filter
+        (fun e -> e.FL.tag = E.op_end && e.FL.a = E.op_find)
+        (FL.drain ())
+    in
+    let measured = List.length (List.filter (fun e -> e.FL.c >= 0) ends) in
+    let markers = List.length (List.filter (fun e -> e.FL.c < 0) ends) in
+    (measured, markers)
+  in
+  let m4, k4 = measure 4 1024 in
+  Alcotest.(check int) "shift 4: 1/16 measured" (1024 / 16) m4;
+  Alcotest.(check int) "shift 4: rest are markers" (1024 - (1024 / 16)) k4;
+  let m2, k2 = measure 2 1024 in
+  Alcotest.(check int) "shift 2: 1/4 measured" (1024 / 4) m2;
+  Alcotest.(check int) "shift 2: rest are markers" (1024 - (1024 / 4)) k2;
+  let m0, k0 = measure 0 256 in
+  Alcotest.(check int) "shift 0: everything measured" 256 m0;
+  Alcotest.(check int) "shift 0: no markers" 0 k0;
+  Scm.Config.reset ();
+  Obs.Gate.set_enabled false
+
 let () =
   Alcotest.run "flight"
     [
@@ -378,6 +416,11 @@ let () =
         [
           Alcotest.test_case "2-domain contended precise aborts" `Slow
             test_contended_attribution;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "latency-sample ratio tracks config shift" `Quick
+            test_sample_shift_knob;
         ] );
       ( "crash-dump",
         [

@@ -91,6 +91,34 @@ let test_find_no_alloc () =
     (Printf.sprintf "find_value allocates nothing (saw %.1f words)" dw)
     true (dw = 0.)
 
+(* Attribution scopes sit on every persisting path, so their open/close
+   must never allocate: disabled (fast mode) they are a bool load and a
+   branch, enabled two unsafe array writes — both zero minor words. *)
+let test_scope_no_alloc () =
+  let spin enabled =
+    Scm.Config.set_stats enabled;
+    (* warm up *)
+    for _ = 1 to 100 do
+      Fptree.Scope.leave (Fptree.Scope.enter Obs.Attrib.comp_kv)
+    done;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to 10_000 do
+      let c = Fptree.Scope.enter Obs.Attrib.comp_kv in
+      let o = Obs.Attrib.set_op Obs.Attrib.op_insert in
+      Obs.Attrib.restore_op o;
+      Fptree.Scope.leave c
+    done;
+    let dw = Gc.minor_words () -. w0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "scope open/close allocates nothing (%s, saw %.1f words)"
+         (if enabled then "enabled" else "disabled")
+         dw)
+      true (dw = 0.)
+  in
+  spin false;
+  spin true;
+  fast_mode ()
+
 (* The watermark admission check on the guarded entry points is pure
    DRAM arithmetic over the allocator's volatile shadows.  Below the
    soft watermark [Palloc.admit]/[watermark_state] must allocate
@@ -204,7 +232,9 @@ let () =
             test_mode_equivalence;
         ] );
       ( "allocation",
-        [ Alcotest.test_case "find_value is allocation-free" `Quick
+        [ Alcotest.test_case "attribution scopes are allocation-free" `Quick
+            test_scope_no_alloc;
+          Alcotest.test_case "find_value is allocation-free" `Quick
             test_find_no_alloc;
         ] );
       ( "admission",

@@ -230,4 +230,43 @@ echo "   fsck clean at the watermark: every admitted key intact ($keys)"
 "$CLI" chaos --exhaustion --seed 7
 "$CLI" chaos --exhaustion --seed 8
 
+echo "== wear (attribution exactness + micro-log persist pricing) =="
+WEAR_IMG=/tmp/bench_check_wear.scm
+WEAR_HEAT=/tmp/bench_check_wear_heatmap.json
+rm -f "$WEAR_IMG" "$WEAR_HEAT"
+"$CLI" create "$WEAR_IMG" --size-mb 8 > /dev/null
+"$CLI" fill "$WEAR_IMG" 1000 > /dev/null
+# The wear command itself exits 2 when any (component x op) matrix sum
+# disagrees with the global scm_*_total counters.
+wearout=$("$CLI" wear "$WEAR_IMG" --ops 2000 --heatmap "$WEAR_HEAT") || {
+  echo "FAIL: attribution cross-check mismatch"; echo "$wearout"; exit 1; }
+echo "$wearout" | grep -q 'MISMATCH' && {
+  echo "FAIL: cross-check row mismatch"; echo "$wearout"; exit 1; }
+echo "$wearout" | sed -n '/^attribution cross-check/,$p' | sed 's/^/   /'
+# Micro-log pricing: arming a split log is two committed pointer
+# publishes (2 persists each), so micro-log persists must be at least
+# 4x the splits the workload drove; retirement, group-allocation logs
+# and delete logs add a bounded tail on top (< 8x + slack).
+splits=$(echo "$wearout" | sed -n 's/.*splits=\([0-9]*\).*/\1/p')
+ldel=$(echo "$wearout" | sed -n 's/.*leaf_deletes=\([0-9]*\).*/\1/p')
+mlog=$(echo "$wearout" | sed -n 's/.*microlog_persists=\([0-9]*\).*/\1/p')
+[ -n "$splits" ] && [ -n "$mlog" ] || {
+  echo "FAIL: wear output missing workload counters"; exit 1; }
+if [ "$splits" -eq 0 ]; then
+  echo "FAIL: wear workload drove no splits (not exercising the micro-log)"
+  exit 1
+fi
+lo=$((4 * splits))
+hi=$((8 * (splits + ldel) + 64))
+if [ "$mlog" -lt "$lo" ] || [ "$mlog" -gt "$hi" ]; then
+  echo "FAIL: micro-log persists $mlog outside [$lo, $hi] for $splits splits"
+  exit 1
+fi
+echo "   micro-log persists $mlog within [$lo, $hi] for $splits splits, $ldel leaf deletes"
+# the heatmap dump is valid JSON that the library round-trips
+[ -s "$WEAR_HEAT" ] || { echo "FAIL: heatmap dump missing"; exit 1; }
+grep -q '"sample_shift"' "$WEAR_HEAT" || {
+  echo "FAIL: heatmap dump malformed"; exit 1; }
+echo "   heatmap dump -> $WEAR_HEAT"
+
 echo "== done: /tmp/bench_check_hotpath.json, $DUMP, $TRACE =="

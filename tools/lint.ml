@@ -220,6 +220,17 @@ let check_file path =
     bad "Domain.DLS.new_key"
       "per-domain state outside lib/htm and lib/obs: hidden DLS cells \
        escape the model checker's deterministic replay";
+  if in_lib "fptree" path && Filename.basename path <> "scope.ml" then begin
+    (* Both spellings: the preceding-'.' boundary means the short form
+       does not match inside the qualified one. *)
+    let msg =
+      "raw persist inside lib/fptree: route through Fptree.Scope \
+       (persist ~comp / persist_in_scope) so the flush is charged to \
+       an Obs.Attrib component"
+    in
+    bad "Region.persist" msg;
+    bad "Scm.Region.persist" msg
+  end;
   if not (in_lib "pmem" path || in_lib "fptree" path) then
     bad "Out_of_scm"
       "Out_of_scm outside lib/pmem and lib/fptree: exhaustion surfaces \
